@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: all build vet test test-short bench results results-paper examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Fast suite for CI: skips the heavier experiment smoke tests.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's tables/figures at the 64-server scale (~15 min).
+results:
+	$(GO) run ./cmd/fbbench -scale small | tee results_small.txt
+
+# The full 128-server instances of Table 1 and Figures 3/4 (~1 h).
+results-paper:
+	$(GO) run ./cmd/fbsim -exp table1 -scale paper | tee results_paper_table1.txt
+	$(GO) run ./cmd/fbsim -exp alltoall -scale paper | tee results_paper_alltoall.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/websearch -flows 400
+	$(GO) run ./examples/incast -jobs 40
+	$(GO) run ./examples/hotspot
+	$(GO) run ./examples/linkfailure
+	$(GO) run ./examples/trace > /dev/null
+
+clean:
+	$(GO) clean ./...

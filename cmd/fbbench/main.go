@@ -1,0 +1,47 @@
+// Command fbbench regenerates every table and figure of the paper's
+// evaluation in one run and prints them in order, suitable for diffing
+// against EXPERIMENTS.md.
+//
+// Usage:
+//
+//	fbbench [-scale small] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flowbender/internal/experiments"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "random seed")
+		scale = flag.String("scale", "small", "fabric scale: tiny, small, paper")
+		verb  = flag.Bool("v", false, "log per-run progress to stderr")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Seed: *seed}
+	switch *scale {
+	case "tiny":
+		o.Scale = experiments.ScaleTiny
+	case "small":
+		o.Scale = experiments.ScaleSmall
+	case "paper":
+		o.Scale = experiments.ScalePaper
+	default:
+		fmt.Fprintln(os.Stderr, "fbbench: scale must be tiny, small, or paper")
+		os.Exit(2)
+	}
+	if *verb {
+		o.Log = os.Stderr
+	}
+
+	start := time.Now()
+	fmt.Printf("FlowBender reproduction — full evaluation (scale=%s seed=%d)\n\n", *scale, *seed)
+	experiments.RunAll(o, os.Stdout)
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,77 @@
+// Command fbsim runs a single FlowBender reproduction experiment.
+//
+// Usage:
+//
+//	fbsim -exp alltoall -scale small -seed 1 -v
+//	fbsim -list
+//
+// Each experiment regenerates one table or figure of the paper (see
+// DESIGN.md for the experiment index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flowbender/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment name (see -list)")
+		list   = flag.Bool("list", false, "list available experiments")
+		seed   = flag.Int64("seed", 1, "random seed")
+		scale  = flag.String("scale", "small", "fabric scale: tiny, small, paper")
+		flows  = flag.Int("flows", 0, "override per-run flow count")
+		jobs   = flag.Int("jobs", 0, "override partition-aggregate job count")
+		verb   = flag.Bool("v", false, "log per-run progress to stderr")
+		asJSON = flag.Bool("json", false, "emit the result as JSON instead of a table")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.Registry {
+			fmt.Printf("  %-12s %s\n", e.Name, e.Desc)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	run, ok := experiments.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fbsim: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	o := experiments.Options{
+		Seed:      *seed,
+		FlowCount: *flows,
+		JobCount:  *jobs,
+	}
+	switch *scale {
+	case "tiny":
+		o.Scale = experiments.ScaleTiny
+	case "small":
+		o.Scale = experiments.ScaleSmall
+	case "paper":
+		o.Scale = experiments.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "fbsim: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *verb {
+		o.Log = os.Stderr
+	}
+	res := run(o)
+	if *asJSON {
+		if err := experiments.WriteJSON(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, "fbsim: json:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	res.Print(os.Stdout)
+}

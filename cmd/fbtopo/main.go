@@ -1,0 +1,79 @@
+// Command fbtopo inspects the simulated fabrics: it audits reachability and
+// path diversity, and shows exactly which path each FlowBender tag value V
+// maps to between a pair of hosts — the mechanism the whole scheme rides on.
+//
+// Usage:
+//
+//	fbtopo -scale small                 # audit the fat-tree
+//	fbtopo -scale paper -src 0 -dst 96  # show the V -> path mapping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flowbender/internal/routing"
+	"flowbender/internal/sim"
+	"flowbender/internal/topo"
+)
+
+func main() {
+	var (
+		scale = flag.String("scale", "small", "fabric scale: tiny, small, paper")
+		src   = flag.Int("src", -1, "source host for a V->path listing")
+		dst   = flag.Int("dst", -1, "destination host for a V->path listing")
+		tags  = flag.Uint("tags", 8, "size of the path-tag range to enumerate")
+	)
+	flag.Parse()
+
+	var p topo.Params
+	switch *scale {
+	case "tiny":
+		p = topo.TinyScale()
+	case "small":
+		p = topo.SmallScale()
+	case "paper":
+		p = topo.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "fbtopo: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	eng := sim.NewEngine()
+	ft := topo.NewFatTree(eng, p)
+	ft.SetSelector(routing.ECMP{})
+
+	fmt.Printf("fat-tree %s: %d pods x (%d ToR + %d agg), %d cores, %d servers\n",
+		*scale, p.Pods, p.TorsPerPod, p.AggsPerPod, p.NumCores(), p.NumHosts())
+	fmt.Printf("rates: access %d Gbps, tor-agg %d Gbps; oversubscription %.0fx; %d inter-pod paths\n\n",
+		p.LinkRateBps/topo.Gbps, p.TorAggRateBps()/topo.Gbps, p.Oversubscription(), p.PathsBetweenPods())
+
+	if *src >= 0 && *dst >= 0 {
+		if *src >= p.NumHosts() || *dst >= p.NumHosts() || *src == *dst {
+			fmt.Fprintln(os.Stderr, "fbtopo: invalid host pair")
+			os.Exit(2)
+		}
+		fmt.Printf("V -> path for host %d -> host %d (switch IDs start at %d):\n", *src, *dst, p.NumHosts())
+		paths := ft.PathsByTag(*src, *dst, uint32(*tags))
+		distinct := map[string]bool{}
+		for tag := uint32(0); tag < uint32(*tags); tag++ {
+			path := paths[tag]
+			key := fmt.Sprint(path)
+			marker := " "
+			if !distinct[key] {
+				distinct[key] = true
+				marker = "*"
+			}
+			fmt.Printf("  V=%d %s %v\n", tag, marker, path)
+		}
+		fmt.Printf("%d distinct paths across %d tag values (* = first occurrence)\n", len(distinct), *tags)
+		return
+	}
+
+	rep := ft.Audit(uint32(*tags))
+	fmt.Print(rep.Format())
+	if rep.Unreachable > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,65 @@
+// Linkfailure: the §3.3.2 failure-recovery story. A core uplink is cut
+// mid-transfer while routing tables stay stale (reconvergence takes seconds
+// in a real fabric). ECMP flows whose hash crosses the dead link stall until
+// routing recovers; FlowBender flows re-draw their path tag on the very
+// first RTO and route around the cut in tens of milliseconds.
+//
+//	go run ./examples/linkfailure
+package main
+
+import (
+	"fmt"
+
+	"flowbender/internal/core"
+	"flowbender/internal/netsim"
+	"flowbender/internal/routing"
+	"flowbender/internal/sim"
+	"flowbender/internal/tcp"
+	"flowbender/internal/topo"
+)
+
+func main() {
+	for _, scheme := range []string{"ECMP", "FlowBender"} {
+		eng := sim.NewEngine()
+		rng := sim.NewRNG(11)
+		p := topo.SmallScale()
+		ft := topo.NewFatTree(eng, p)
+		ft.SetSelector(routing.ECMP{})
+
+		cfg := tcp.DefaultConfig()
+		if scheme == "FlowBender" {
+			cfg.FlowBender = &core.Config{MinEpochGap: 5, DesyncN: true, RNG: rng.Fork("fb")}
+		}
+
+		// One 10 MB flow per pod-0 host to the matching pod-1 host.
+		perPod := p.TorsPerPod * p.ServersPerTor
+		var flows []*tcp.Flow
+		for i := 0; i < perPod; i++ {
+			flows = append(flows, tcp.StartFlow(eng, cfg, netsim.FlowID(i+1),
+				ft.Hosts[i], ft.Hosts[perPod+i], 10_000_000))
+		}
+
+		// Cut one aggregation-to-core cable 1 ms in; leave tables stale.
+		eng.At(1*sim.Millisecond, func() { ft.AggCoreLinks[0][0][0].Fail() })
+
+		eng.Run(2 * sim.Second)
+
+		done, affected := 0, 0
+		var worst sim.Time
+		for _, f := range flows {
+			if f.Sender().Timeouts > 0 {
+				affected++
+			}
+			if f.Done() {
+				done++
+				if fct := f.FCT(); fct > worst {
+					worst = fct
+				}
+			}
+		}
+		fmt.Printf("%-11s completed %2d/%d flows; %d hit an RTO; worst FCT of completed: %v\n",
+			scheme, done, len(flows), affected, worst)
+	}
+	fmt.Println("\nECMP flows crossing the cut never finish (static hash, stale routes);")
+	fmt.Println("FlowBender recovers within a few RTOs by re-drawing V end-to-end.")
+}

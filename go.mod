@@ -1,0 +1,3 @@
+module flowbender
+
+go 1.22

@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+
+	"flowbender/internal/core"
+)
+
+// The transport drives a FlowBender controller with one OnAck per
+// acknowledgment and one OnRTTEnd per round trip; it stamps PathTag into
+// every outgoing packet.
+func ExampleFlowBender() {
+	fb := core.New(core.Config{T: 0.05, N: 1}) // paper defaults, deterministic V
+
+	// A clean round trip: 10 ACKs, none marked.
+	for i := 0; i < 10; i++ {
+		fb.OnAck(false)
+	}
+	fmt.Println("clean epoch rerouted:", fb.OnRTTEnd(), "tag:", fb.PathTag())
+
+	// A congested round trip: 3 of 10 ACKs carry the ECN echo (30% > 5%).
+	for i := 0; i < 10; i++ {
+		fb.OnAck(i < 3)
+	}
+	fmt.Println("congested epoch rerouted:", fb.OnRTTEnd(), "tag:", fb.PathTag())
+
+	// An RTO re-draws V immediately (failure recovery).
+	fb.OnTimeout()
+	fmt.Println("after timeout, tag:", fb.PathTag(), "reroutes:", fb.Stats().Reroutes)
+
+	// Output:
+	// clean epoch rerouted: false tag: 0
+	// congested epoch rerouted: true tag: 1
+	// after timeout, tag: 2 reroutes: 2
+}
+
+// A Sprayer re-draws the tag every burst, for unreliable transports.
+func ExampleSprayer() {
+	s := core.NewSprayer(8, 3000, nil) // new tag every 3000 bytes
+	for i := 0; i < 4; i++ {
+		fmt.Println("packet", i, "tag", s.Tag(1500))
+	}
+	// Output:
+	// packet 0 tag 0
+	// packet 1 tag 0
+	// packet 2 tag 1
+	// packet 3 tag 1
+}

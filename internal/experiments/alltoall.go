@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"flowbender/internal/core"
+	"flowbender/internal/stats"
+)
+
+// DefaultLoads are the paper's evaluated network loads (Figures 3, 4, 8).
+var DefaultLoads = []float64{0.2, 0.4, 0.6}
+
+// AllToAllCell is one (load, scheme, size-bin) cell of Figures 3 and 4:
+// latency normalized to ECMP at the same load and bin.
+type AllToAllCell struct {
+	MeanNorm float64
+	P99Norm  float64
+	MeanSec  float64
+	P99Sec   float64
+	N        int
+}
+
+// AllToAllResult holds the all-to-all comparison that Figures 3 and 4 (and
+// the out-of-order accounting of §4.2.3) are drawn from.
+type AllToAllResult struct {
+	Loads   []float64
+	Schemes []Scheme
+	// Cells[load][scheme][bin].
+	Cells map[float64]map[Scheme][stats.NumBins]AllToAllCell
+	// OOO[scheme] is the max over loads of the fraction of data packets
+	// arriving out of order.
+	OOO map[Scheme]float64
+	// Reroutes[load] counts FlowBender path changes at that load.
+	Reroutes map[float64]int64
+	// Incomplete flags any flows that failed to finish before MaxWait.
+	Incomplete int
+}
+
+// AllToAll runs the §4.2.2 workload: heavy-tailed flow sizes, Poisson
+// arrivals, uniform random all-to-all traffic at each load, for every
+// scheme. Every scheme sees the identical flow arrival sequence.
+func AllToAll(o Options) *AllToAllResult {
+	res := &AllToAllResult{
+		Loads:    DefaultLoads,
+		Schemes:  AllSchemes,
+		Cells:    make(map[float64]map[Scheme][stats.NumBins]AllToAllCell),
+		OOO:      make(map[Scheme]float64),
+		Reroutes: make(map[float64]int64),
+	}
+	for _, load := range res.Loads {
+		perScheme := make(map[Scheme]*runOutcome)
+		for _, s := range res.Schemes {
+			out := o.runAllToAll(allToAllSpec{scheme: s, load: load, flows: o.flowCount(), srcTor: -1})
+			perScheme[s] = out
+			res.Incomplete += out.Incomplete
+			if f := out.OOOFraction(); f > res.OOO[s] {
+				res.OOO[s] = f
+			}
+			if s == FlowBender {
+				res.Reroutes[load] = out.Reroutes
+			}
+			o.logf("all-to-all: load=%.0f%% %s mean=%.3gms p99=%.3gms ooo=%.5f%% incomplete=%d",
+				load*100, s, perScheme[s].FCT.All().Mean()*1000,
+				perScheme[s].FCT.All().Percentile(99)*1000, out.OOOFraction()*100, out.Incomplete)
+		}
+		base := perScheme[ECMP]
+		cells := make(map[Scheme][stats.NumBins]AllToAllCell)
+		for _, s := range res.Schemes {
+			var row [stats.NumBins]AllToAllCell
+			for b := 0; b < int(stats.NumBins); b++ {
+				mine := &perScheme[s].FCT.Bins[b]
+				ref := &base.FCT.Bins[b]
+				row[b] = AllToAllCell{
+					MeanSec:  mine.Mean(),
+					P99Sec:   mine.Percentile(99),
+					MeanNorm: stats.Ratio(mine.Mean(), ref.Mean()),
+					P99Norm:  stats.Ratio(mine.Percentile(99), ref.Percentile(99)),
+					N:        mine.N(),
+				}
+			}
+			cells[s] = row
+		}
+		res.Cells[load] = cells
+	}
+	return res
+}
+
+// Print writes Figure 3 (mean) and Figure 4 (99th percentile) as tables,
+// plus the §4.2.3 out-of-order summary.
+func (r *AllToAllResult) Print(w io.Writer) {
+	r.printFigure(w, "Figure 3: all-to-all MEAN latency normalized to ECMP (lower is better)",
+		func(c AllToAllCell) float64 { return c.MeanNorm })
+	fmt.Fprintln(w)
+	r.printFigure(w, "Figure 4: all-to-all 99th-PERCENTILE latency normalized to ECMP (lower is better)",
+		func(c AllToAllCell) float64 { return c.P99Norm })
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Out-of-order data packets (fraction of all data packets, max across loads; §4.2.3):")
+	for _, s := range r.Schemes {
+		fmt.Fprintf(w, "  %-11s %.5f%%\n", s, r.OOO[s]*100)
+	}
+}
+
+func (r *AllToAllResult) printFigure(w io.Writer, title string, get func(AllToAllCell) float64) {
+	fmt.Fprintln(w, title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "load\tscheme")
+	for b := 0; b < int(stats.NumBins); b++ {
+		fmt.Fprintf(tw, "\t%s", stats.SizeBin(b))
+	}
+	fmt.Fprintln(tw)
+	for _, load := range r.Loads {
+		for _, s := range r.Schemes {
+			if s == ECMP {
+				continue // the baseline is 1.0 by construction
+			}
+			fmt.Fprintf(tw, "%.0f%%\t%s", load*100, s)
+			cells := r.Cells[load][s]
+			for b := 0; b < int(stats.NumBins); b++ {
+				fmt.Fprintf(tw, "\t%.2f", get(cells[b]))
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	tw.Flush()
+}
+
+// runFlowBenderAllToAll shares the all-to-all machinery for Figures 6 and 7
+// (evaluation defaults applied on top of fb).
+func (o Options) runFlowBenderAllToAll(fb core.Config, load float64) *runOutcome {
+	return o.runAllToAll(allToAllSpec{scheme: FlowBender, fb: fb, load: load, flows: o.flowCount(), srcTor: -1})
+}
+
+// runFlowBenderAllToAllRaw is the same but takes fb verbatim (ablations).
+func (o Options) runFlowBenderAllToAllRaw(fb core.Config, load float64) *runOutcome {
+	return o.runAllToAll(allToAllSpec{scheme: FlowBender, fb: fb, load: load, flows: o.flowCount(), srcTor: -1, rawFB: true})
+}

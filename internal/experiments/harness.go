@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flowbender/internal/core"
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+	"flowbender/internal/stats"
+	"flowbender/internal/tcp"
+	"flowbender/internal/topo"
+	"flowbender/internal/workload"
+)
+
+func sprintfLn(format string, args ...any) string {
+	s := fmt.Sprintf(format, args...)
+	if len(s) == 0 || s[len(s)-1] != '\n' {
+		s += "\n"
+	}
+	return s
+}
+
+// runOutcome aggregates one simulation run's measurements.
+type runOutcome struct {
+	Flows []*tcp.Flow
+	Jobs  []*workload.Job
+
+	// Binned receiver-side flow completion times, in seconds.
+	FCT stats.BinnedSample
+
+	DataPackets int64
+	OutOfOrder  int64
+	Timeouts    int64
+	Retransmits int64
+	Reroutes    int64
+	Incomplete  int
+	SimTime     sim.Time
+}
+
+func (r *runOutcome) collect() {
+	for _, f := range r.Flows {
+		if !f.Done() {
+			r.Incomplete++
+			continue
+		}
+		r.FCT.Add(f.Size, f.FCT().Seconds())
+		r.DataPackets += f.DataPackets()
+		r.OutOfOrder += f.OutOfOrder()
+		r.Timeouts += f.Sender().Timeouts
+		r.Retransmits += f.Sender().Retransmits
+		r.Reroutes += f.FlowBenderStats().Reroutes
+	}
+}
+
+// OOOFraction returns the fraction of data packets that arrived out of
+// order (§4.2.3's metric).
+func (r *runOutcome) OOOFraction() float64 {
+	if r.DataPackets == 0 {
+		return 0
+	}
+	return float64(r.OutOfOrder) / float64(r.DataPackets)
+}
+
+// drain advances the engine in chunks until done() or the deadline.
+func drain(eng *sim.Engine, deadline sim.Time, done func() bool) {
+	const chunk = 5 * sim.Millisecond
+	for eng.Now() < deadline && !done() {
+		next := eng.Now() + chunk
+		if next > deadline {
+			next = deadline
+		}
+		eng.Run(next)
+		if eng.Pending() == 0 {
+			return
+		}
+	}
+}
+
+func allFlowsDone(flows []*tcp.Flow) func() bool {
+	return func() bool {
+		for _, f := range flows {
+			if !f.Done() {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// allToAllSpec parameterizes one all-to-all run.
+type allToAllSpec struct {
+	scheme Scheme
+	fb     core.Config // FlowBender overrides (zero = paper defaults)
+	load   float64
+	flows  int
+	cdf    workload.CDF
+	// srcTor, when >= 0, restricts senders to that ToR of pod 0 (Figure 8's
+	// testbed pattern); -1 = every host sends.
+	srcTor int
+	// rawFB takes the fb config verbatim, without evaluation defaults.
+	rawFB bool
+	// params overrides the Options-derived fat-tree parameters.
+	params *topo.Params
+}
+
+// runAllToAllParams runs the all-to-all workload on an explicit fat-tree.
+func (o Options) runAllToAllParams(p topo.Params, scheme Scheme, load float64) *runOutcome {
+	return o.runAllToAll(allToAllSpec{scheme: scheme, load: load, flows: o.flowCount(), srcTor: -1, params: &p})
+}
+
+// runAllToAll executes one all-to-all run on a fat-tree at the given options
+// and returns its measurements. The workload RNG stream is independent of
+// the scheme, so every scheme sees the identical arrival sequence.
+func (o Options) runAllToAll(spec allToAllSpec) *runOutcome {
+	eng := sim.NewEngine()
+	rootRNG := sim.NewRNG(o.Seed)
+	set := spec.scheme.setupRaw(rootRNG.Fork("scheme"), spec.fb, spec.rawFB)
+
+	p := o.params()
+	if spec.params != nil {
+		p = *spec.params
+	}
+	p.PFC = set.pfc
+	ft := topo.NewFatTree(eng, p)
+	ft.SetSelector(set.sel)
+
+	cdf := spec.cdf
+	if cdf == nil {
+		cdf = workload.WebSearchCDF()
+	}
+	gen := &workload.AllToAll{
+		Eng:   eng,
+		RNG:   rootRNG.Fork("workload"),
+		Hosts: ft.Hosts,
+		CDF:   cdf,
+		IDs:   &workload.IDAllocator{},
+		Start: func(id netsim.FlowID, src, dst *netsim.Host, size int64) *tcp.Flow {
+			return tcp.StartFlow(eng, set.cfg, id, src, dst, size)
+		},
+		MeanInterarrival: workload.AggregateInterarrival(
+			spec.load, p.BisectionBps(), p.InterPodFraction(), cdf.Mean()),
+		MaxFlows: spec.flows,
+	}
+	if spec.srcTor >= 0 {
+		gen.SrcHosts = hostsOf(ft, 0, spec.srcTor)
+	}
+	gen.Run()
+	drain(eng, o.maxWait(), allFlowsDone2(gen))
+
+	out := &runOutcome{Flows: gen.Flows, SimTime: eng.Now()}
+	out.collect()
+	return out
+}
+
+func hostsOf(ft *topo.FatTree, pod, tor int) []*netsim.Host {
+	idx := ft.TorHosts(pod, tor)
+	out := make([]*netsim.Host, len(idx))
+	for i, h := range idx {
+		out[i] = ft.Hosts[h]
+	}
+	return out
+}
+
+// allFlowsDone2 is the drain predicate for a generator: all arrivals issued
+// and all issued flows complete.
+func allFlowsDone2(gen *workload.AllToAll) func() bool {
+	return func() bool {
+		if gen.MaxFlows > 0 && len(gen.Flows) < gen.MaxFlows {
+			return false
+		}
+		for _, f := range gen.Flows {
+			if !f.Done() {
+				return false
+			}
+		}
+		return true
+	}
+}

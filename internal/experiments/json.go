@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MarshalText makes Scheme usable as a JSON map key.
+func (s Scheme) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// loadKey renders a load fraction as a stable JSON key ("20%", "40%", ...).
+func loadKey(load float64) string { return fmt.Sprintf("%g%%", load*100) }
+
+// MarshalJSON flattens the float-keyed maps into string-keyed objects.
+func (r *AllToAllResult) MarshalJSON() ([]byte, error) {
+	type cellRow map[Scheme][]AllToAllCell
+	out := struct {
+		Loads      []float64
+		Schemes    []string
+		Cells      map[string]cellRow
+		OOO        map[Scheme]float64
+		Reroutes   map[string]int64
+		Incomplete int
+	}{
+		Loads:      r.Loads,
+		Cells:      map[string]cellRow{},
+		OOO:        r.OOO,
+		Reroutes:   map[string]int64{},
+		Incomplete: r.Incomplete,
+	}
+	for _, s := range r.Schemes {
+		out.Schemes = append(out.Schemes, s.String())
+	}
+	for load, per := range r.Cells {
+		row := cellRow{}
+		for s, cells := range per {
+			row[s] = cells[:]
+		}
+		out.Cells[loadKey(load)] = row
+	}
+	for load, n := range r.Reroutes {
+		out.Reroutes[loadKey(load)] = n
+	}
+	return json.Marshal(out)
+}
+
+// MarshalJSON flattens the float-keyed maps into string-keyed objects.
+func (r *TestbedResult) MarshalJSON() ([]byte, error) {
+	out := struct {
+		Loads     []float64
+		Norm      map[string][3]float64
+		ECMPAbsMs map[string][3]float64
+		FlowBytes int64
+		Tors      int
+		Spines    int
+	}{
+		Loads:     r.Loads,
+		Norm:      map[string][3]float64{},
+		ECMPAbsMs: map[string][3]float64{},
+		FlowBytes: r.FlowBytes,
+		Tors:      r.Tors,
+		Spines:    r.Spines,
+	}
+	for load, v := range r.Norm {
+		out.Norm[loadKey(load)] = v
+	}
+	for load, v := range r.ECMPAbsMs {
+		out.ECMPAbsMs[loadKey(load)] = v
+	}
+	return json.Marshal(out)
+}
+
+// WriteJSON encodes any experiment result as indented JSON.
+func WriteJSON(w io.Writer, res Printable) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flowbender/internal/stats"
+)
+
+func TestAllToAllJSONRoundtrip(t *testing.T) {
+	res := &AllToAllResult{
+		Loads:   []float64{0.2, 0.4},
+		Schemes: AllSchemes,
+		Cells: map[float64]map[Scheme][stats.NumBins]AllToAllCell{
+			0.2: {FlowBender: {{MeanNorm: 0.9}}},
+		},
+		OOO:      map[Scheme]float64{FlowBender: 0.01, RPS: 0.2},
+		Reroutes: map[float64]int64{0.2: 42},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"20%"`, `"FlowBender"`, `"Reroutes"`, "0.9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, out)
+		}
+	}
+	// It must be valid JSON.
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+}
+
+func TestTestbedJSON(t *testing.T) {
+	res := &TestbedResult{
+		Loads:     []float64{0.6},
+		Norm:      map[float64][3]float64{0.6: {0.9, 0.7, 0.6}},
+		ECMPAbsMs: map[float64][3]float64{0.6: {1, 2, 3}},
+		FlowBytes: 1_000_000,
+		Tors:      15,
+		Spines:    4,
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"60%"`) {
+		t.Fatalf("load key missing: %s", buf.String())
+	}
+}
+
+func TestEveryResultTypeMarshals(t *testing.T) {
+	// Every registry experiment's result must be JSON-encodable (the fbsim
+	// -json flag relies on it). Use cheap zero-ish instances.
+	results := []Printable{
+		&Table1Result{},
+		&AllToAllResult{},
+		&PartAggResult{NormJCT: map[int]map[Scheme]float64{4: {FlowBender: 1}}},
+		&SensitivityResult{},
+		&TestbedResult{},
+		&HotspotResult{TCPOnU: map[Scheme]float64{ECMP: 3.5}},
+		&TopoDepResult{},
+		&LinkFailureResult{Completed: map[Scheme]int{ECMP: 1}},
+		&WCMPResult{},
+		&UDPSprayResult{},
+		&AblationResult{},
+	}
+	for i, r := range results {
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, r); err != nil {
+			t.Errorf("result %d (%T): %v", i, r, err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"flowbender/internal/core"
+	"flowbender/internal/sim"
+	"flowbender/internal/stats"
+	"flowbender/internal/tcp"
+	"flowbender/internal/topo"
+	"flowbender/internal/workload"
+)
+
+// LinkFailureResult quantifies the §3.3.2 claim: FlowBender routes around a
+// failed link within about one RTO, while static ECMP flows whose hash maps
+// onto the dead link stay stuck until routing reconverges (not modeled —
+// the paper puts it at O(seconds)).
+type LinkFailureResult struct {
+	FlowBytes int64
+	FailAt    sim.Time
+	Deadline  sim.Time
+	RTOMin    sim.Time
+
+	// Per scheme: flows completed before the deadline / total.
+	Completed map[Scheme]int
+	Total     int
+	// AffectedTimeouts[scheme]: flows that saw at least one RTO.
+	Affected map[Scheme]int
+	// MeanAffectedFCTms: mean completion time of affected flows (only
+	// meaningful where they complete at all).
+	MeanAffectedFCTms map[Scheme]float64
+	// MeanUnaffectedFCTms: baseline completion of untouched flows.
+	MeanUnaffectedFCTms map[Scheme]float64
+}
+
+// LinkFailure starts one long flow per source host from pod 0 to pod 1,
+// fails one aggregation-to-core cable shortly after, and compares ECMP's
+// and FlowBender's ability to finish the transfers.
+func LinkFailure(o Options) *LinkFailureResult {
+	res := &LinkFailureResult{
+		FlowBytes: 10_000_000,
+		FailAt:    1 * sim.Millisecond,
+		Deadline:  2 * sim.Second,
+		RTOMin:    10 * sim.Millisecond,
+		Completed: make(map[Scheme]int),
+		Affected:  make(map[Scheme]int),
+
+		MeanAffectedFCTms:   make(map[Scheme]float64),
+		MeanUnaffectedFCTms: make(map[Scheme]float64),
+	}
+	for _, scheme := range []Scheme{ECMP, FlowBender} {
+		res.runOne(o, scheme)
+	}
+	return res
+}
+
+func (r *LinkFailureResult) runOne(o Options, scheme Scheme) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(o.Seed)
+	set := scheme.setup(rng.Fork("scheme"), core.Config{})
+
+	p := o.params()
+	p.PFC = set.pfc
+	ft := topo.NewFatTree(eng, p)
+	ft.SetSelector(set.sel)
+
+	// One flow per pod-0 host, each to the corresponding pod-1 host, so the
+	// up-paths carry several flows and at least some hash across the link
+	// we are about to cut.
+	ids := &workload.IDAllocator{}
+	var flows []*tcp.Flow
+	perPod := p.TorsPerPod * p.ServersPerTor
+	for i := 0; i < perPod; i++ {
+		src := ft.Hosts[i]
+		dst := ft.Hosts[perPod+i]
+		flows = append(flows, tcp.StartFlow(eng, set.cfg, ids.Next(), src, dst, r.FlowBytes))
+	}
+	r.Total = len(flows)
+
+	// Cut the first aggregation switch's first core uplink in pod 0.
+	eng.At(r.FailAt, func() { ft.AggCoreLinks[0][0][0].Fail() })
+
+	drain(eng, r.Deadline, allFlowsDone(flows))
+
+	var affected, unaffected stats.Sample
+	done := 0
+	for _, f := range flows {
+		hadTimeout := f.Sender().Timeouts > 0
+		if hadTimeout {
+			r.Affected[scheme]++
+		}
+		if f.Done() {
+			done++
+			if hadTimeout {
+				affected.Add(f.FCT().Seconds() * 1000)
+			} else {
+				unaffected.Add(f.FCT().Seconds() * 1000)
+			}
+		}
+	}
+	r.Completed[scheme] = done
+	r.MeanAffectedFCTms[scheme] = affected.Mean()
+	r.MeanUnaffectedFCTms[scheme] = unaffected.Mean()
+	o.logf("linkfailure: %s completed=%d/%d affected=%d meanAffectedFCT=%.1fms",
+		scheme, done, r.Total, r.Affected[scheme], affected.Mean())
+}
+
+// ms formats a millisecond value, rendering NaN (no samples) as "n/a".
+func ms(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a (none completed)"
+	}
+	return fmt.Sprintf("%.1f ms", v)
+}
+
+// Print writes the link-failure summary.
+func (r *LinkFailureResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Link failure recovery (§3.3.2): %d MB inter-pod flows, one core uplink cut at %v (RTOmin %v)\n",
+		r.FlowBytes/1_000_000, r.FailAt, r.RTOMin)
+	for _, s := range []Scheme{ECMP, FlowBender} {
+		fmt.Fprintf(w, "  %-11s completed %d/%d; flows hitting RTO: %d; mean FCT affected %s vs unaffected %s\n",
+			s, r.Completed[s], r.Total, r.Affected[s],
+			ms(r.MeanAffectedFCTms[s]), ms(r.MeanUnaffectedFCTms[s]))
+	}
+	fmt.Fprintln(w, "  (FlowBender re-draws V on each RTO: affected flows finish ~one RTO late; static ECMP flows on the dead path never finish)")
+}

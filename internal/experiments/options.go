@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"io"
+
+	"flowbender/internal/sim"
+	"flowbender/internal/topo"
+)
+
+// ScaleLevel selects the fabric size and sample counts of a run.
+type ScaleLevel int
+
+// Supported scales.
+const (
+	// ScaleTiny is for unit tests: 16 servers, very few flows.
+	ScaleTiny ScaleLevel = iota
+	// ScaleSmall (default) preserves the paper's oversubscription and
+	// flows-per-path ratio on a 64-server fabric.
+	ScaleSmall
+	// ScalePaper is the full §4.2 configuration: 128 servers, 8 paths
+	// between pods, and larger samples.
+	ScalePaper
+)
+
+func (s ScaleLevel) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleSmall:
+		return "small"
+	case ScalePaper:
+		return "paper"
+	}
+	return "scale?"
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Seed drives all randomness; identical Options give identical results.
+	Seed int64
+	// Scale selects fabric size and sample counts.
+	Scale ScaleLevel
+	// FlowCount overrides the per-run number of workload flows (0 = the
+	// scale's default).
+	FlowCount int
+	// JobCount overrides the number of partition-aggregate jobs.
+	JobCount int
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+	// MaxWait bounds how long (virtual time) a run waits for in-flight
+	// flows to drain after arrivals stop. 0 = 10 s.
+	MaxWait sim.Time
+	// Repeats averages micro-benchmarks (Table 1) over this many seeds;
+	// 0 picks a scale-appropriate default (3 below paper scale, 1 at it).
+	Repeats int
+}
+
+// DefaultOptions returns the defaults used by the benchmark harness.
+func DefaultOptions() Options {
+	return Options{Seed: 1, Scale: ScaleSmall}
+}
+
+func (o Options) params() topo.Params {
+	switch o.Scale {
+	case ScaleTiny:
+		return topo.TinyScale()
+	case ScalePaper:
+		return topo.PaperScale()
+	default:
+		return topo.SmallScale()
+	}
+}
+
+func (o Options) flowCount() int {
+	if o.FlowCount > 0 {
+		return o.FlowCount
+	}
+	switch o.Scale {
+	case ScaleTiny:
+		return 200
+	case ScalePaper:
+		return 4000
+	default:
+		return 1500
+	}
+}
+
+func (o Options) jobCount() int {
+	if o.JobCount > 0 {
+		return o.JobCount
+	}
+	switch o.Scale {
+	case ScaleTiny:
+		return 30
+	case ScalePaper:
+		return 300
+	default:
+		return 150
+	}
+}
+
+func (o Options) repeats() int {
+	if o.Repeats > 0 {
+		return o.Repeats
+	}
+	if o.Scale == ScalePaper {
+		return 1
+	}
+	return 3
+}
+
+func (o Options) maxWait() sim.Time {
+	if o.MaxWait > 0 {
+		return o.MaxWait
+	}
+	return 10 * sim.Second
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		_, _ = io.WriteString(o.Log, sprintfLn(format, args...))
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"flowbender/internal/core"
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+	"flowbender/internal/stats"
+	"flowbender/internal/tcp"
+	"flowbender/internal/topo"
+	"flowbender/internal/workload"
+)
+
+// DefaultFanIns are Figure 5's x-axis values.
+var DefaultFanIns = []int{4, 8, 16, 32}
+
+// PartAggResult reproduces Figure 5: the average completion time of
+// partition-aggregate jobs (the last flow of each incast), normalized to
+// ECMP, as the fan-in degree varies at 40% load.
+type PartAggResult struct {
+	FanIns  []int
+	Schemes []Scheme
+	// NormJCT[fanin][scheme]: average job completion normalized to ECMP.
+	NormJCT map[int]map[Scheme]float64
+	// AbsJCTms[fanin][scheme]: absolute average job completion in ms.
+	AbsJCTms map[int]map[Scheme]float64
+	Load     float64
+	JobBytes int64
+}
+
+// PartitionAggregate runs the §4.2.4 incast workload: 1 MB transactions
+// split evenly across n workers, arriving as a Poisson process at 40% load.
+func PartitionAggregate(o Options) *PartAggResult {
+	res := &PartAggResult{
+		FanIns:   DefaultFanIns,
+		Schemes:  AllSchemes,
+		NormJCT:  make(map[int]map[Scheme]float64),
+		AbsJCTms: make(map[int]map[Scheme]float64),
+		Load:     0.4,
+		JobBytes: 1_000_000,
+	}
+	for _, fanIn := range res.FanIns {
+		norm := make(map[Scheme]float64)
+		abs := make(map[Scheme]float64)
+		for _, s := range res.Schemes {
+			jct := o.runPartAgg(s, fanIn, res.Load, res.JobBytes)
+			abs[s] = jct * 1000
+			o.logf("part-agg: fanin=%d %s avgJCT=%.3gms", fanIn, s, jct*1000)
+		}
+		for _, s := range res.Schemes {
+			norm[s] = stats.Ratio(abs[s], abs[ECMP])
+		}
+		res.NormJCT[fanIn] = norm
+		res.AbsJCTms[fanIn] = abs
+	}
+	return res
+}
+
+func (o Options) runPartAgg(scheme Scheme, fanIn int, load float64, jobBytes int64) float64 {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(o.Seed)
+	set := scheme.setup(rng.Fork("scheme"), core.Config{})
+
+	p := o.params()
+	p.PFC = set.pfc
+	ft := topo.NewFatTree(eng, p)
+	ft.SetSelector(set.sel)
+
+	gen := &workload.PartitionAggregate{
+		Eng:   eng,
+		RNG:   rng.Fork("workload"),
+		Hosts: ft.Hosts,
+		IDs:   &workload.IDAllocator{},
+		Start: func(id netsim.FlowID, src, dst *netsim.Host, size int64) *tcp.Flow {
+			return tcp.StartFlow(eng, set.cfg, id, src, dst, size)
+		},
+		JobBytes: jobBytes,
+		FanIn:    fanIn,
+		MeanInterarrival: workload.JobInterarrival(
+			load, p.BisectionBps(), p.InterPodFraction(), jobBytes),
+		MaxJobs: o.jobCount(),
+	}
+	gen.Run()
+	drain(eng, o.maxWait(), func() bool {
+		if len(gen.Jobs) < gen.MaxJobs {
+			return false
+		}
+		for _, j := range gen.Jobs {
+			if !j.Done() {
+				return false
+			}
+		}
+		return true
+	})
+
+	var s stats.Sample
+	for _, j := range gen.Jobs {
+		if j.Done() {
+			s.Add(j.CompletionTime().Seconds())
+		}
+	}
+	return s.Mean()
+}
+
+// Print writes Figure 5 as a table.
+func (r *PartAggResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 5: partition-aggregate avg job completion time normalized to ECMP (load %.0f%%, %d KB jobs)\n",
+		r.Load*100, r.JobBytes/1000)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "fan-in")
+	for _, s := range r.Schemes {
+		if s == ECMP {
+			continue
+		}
+		fmt.Fprintf(tw, "\t%s", s)
+	}
+	fmt.Fprintln(tw, "\tECMP abs (ms)")
+	for _, fanIn := range r.FanIns {
+		fmt.Fprintf(tw, "%d", fanIn)
+		for _, s := range r.Schemes {
+			if s == ECMP {
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.2f", r.NormJCT[fanIn][s])
+		}
+		fmt.Fprintf(tw, "\t%.2f\n", r.AbsJCTms[fanIn][ECMP])
+	}
+	tw.Flush()
+}

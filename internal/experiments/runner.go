@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Printable is implemented by every experiment result.
+type Printable interface {
+	Print(w io.Writer)
+}
+
+// Registry maps experiment names (as used by cmd/fbsim -exp) to runners.
+var Registry = []struct {
+	Name string
+	Desc string
+	Run  func(Options) Printable
+}{
+	{"table1", "Table 1: validation, equal elephant flows ToR-to-ToR, ECMP vs FlowBender",
+		func(o Options) Printable { return Table1(o) }},
+	{"alltoall", "Figures 3+4 and §4.2.3: all-to-all latency and out-of-order accounting",
+		func(o Options) Printable { return AllToAll(o) }},
+	{"partagg", "Figure 5: partition-aggregate job completion vs fan-in",
+		func(o Options) Printable { return PartitionAggregate(o) }},
+	{"sens-n", "Figure 6: sensitivity to N",
+		func(o Options) Printable { return SensitivityN(o) }},
+	{"sens-t", "Figure 7: sensitivity to T",
+		func(o Options) Printable { return SensitivityT(o) }},
+	{"testbed", "Figure 8: leaf-spine testbed latency reduction",
+		func(o Options) Printable { return Testbed(o) }},
+	{"hotspot", "§4.3.1: decongesting a pinned-UDP hotspot",
+		func(o Options) Printable { return Hotspot(o) }},
+	{"topodep", "§4.3.2: dependence on path diversity",
+		func(o Options) Printable { return TopoDependence(o) }},
+	{"linkfailure", "§3.3.2: recovery from a link failure within ~RTO",
+		func(o Options) Printable { return LinkFailure(o) }},
+	{"wcmp", "§4.3.1: asymmetric fabric, WCMP weights, and FlowBender robustness",
+		func(o Options) Printable { return WCMP(o) }},
+	{"udpspray", "§3.4.3: burst-level path spraying for unreliable transports",
+		func(o Options) Printable { return UDPSpray(o) }},
+	{"ablations", "§3.4/§5: FlowBender design-option ablations",
+		func(o Options) Printable { return Ablations(o) }},
+}
+
+// Lookup finds a registered experiment by name.
+func Lookup(name string) (func(Options) Printable, bool) {
+	for _, e := range Registry {
+		if e.Name == name {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}
+
+// RunAll executes every registered experiment and prints each result to w.
+func RunAll(o Options, w io.Writer) {
+	for _, e := range Registry {
+		fmt.Fprintf(w, "==== %s — %s ====\n", e.Name, e.Desc)
+		e.Run(o).Print(w)
+		fmt.Fprintln(w)
+	}
+}

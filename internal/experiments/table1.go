@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"flowbender/internal/core"
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+	"flowbender/internal/stats"
+	"flowbender/internal/tcp"
+	"flowbender/internal/topo"
+	"flowbender/internal/workload"
+)
+
+// Table1Row is one row of the paper's Table 1: mean and max completion time
+// (ms) of k simultaneous equal-size ToR-to-ToR flows, under ECMP and
+// FlowBender.
+type Table1Row struct {
+	Flows           int
+	ECMPMeanMs      float64
+	ECMPMaxMs       float64
+	FBMeanMs        float64
+	FBMaxMs         float64
+	IdealMs         float64 // k/P * size / rate: perfect balance, instant convergence
+	ECMPMaxOverMean float64
+	FBMaxOverMean   float64
+}
+
+// Table1Result reproduces Table 1 (§4.2.1, functionality validation).
+type Table1Result struct {
+	FlowBytes int64
+	Paths     int
+	Rows      []Table1Row
+}
+
+// Table1 runs the validation microbenchmark: k ∈ FlowCounts simultaneous
+// flows of FlowBytes each from the hosts of one ToR in pod 0 to the hosts of
+// one ToR in pod 1. The paper uses 250 MB flows; the scaled default is
+// 25 MB (one decade smaller, preserving many-RTT flows and the flows-per-
+// path ratios 1, 2, 3 x paths).
+func Table1(o Options) *Table1Result {
+	p := o.params()
+	paths := p.PathsBetweenPods()
+	// The paper uses 250 MB flows; reduced scales use 50 MB (still
+	// thousands of RTTs per flow, so rerouting has room to converge).
+	var size int64 = 50_000_000
+	if o.Scale == ScalePaper {
+		size = 250_000_000
+	}
+	if o.Scale == ScaleTiny {
+		size = 25_000_000
+	}
+	counts := []int{1 * paths, 2 * paths, 3 * paths}
+
+	res := &Table1Result{FlowBytes: size, Paths: paths}
+	for _, k := range counts {
+		row := Table1Row{Flows: k}
+		row.IdealMs = float64(k) / float64(paths) * float64(size) * 8 / float64(p.LinkRateBps) * 1000
+		for _, scheme := range []Scheme{ECMP, FlowBender} {
+			// Micro-benchmarks with a handful of flows are dominated by the
+			// luck of the hash draw, so average the mean and max over
+			// several seeds below paper scale.
+			var mean, max float64
+			reps := o.repeats()
+			for r := 0; r < reps; r++ {
+				oo := o
+				oo.Seed = o.Seed + int64(r)*1000
+				m, x := oo.runValidation(scheme, k, size)
+				mean += m / float64(reps)
+				max += x / float64(reps)
+			}
+			if scheme == ECMP {
+				row.ECMPMeanMs, row.ECMPMaxMs = mean, max
+			} else {
+				row.FBMeanMs, row.FBMaxMs = mean, max
+			}
+			o.logf("table1: %s k=%d mean=%.1fms max=%.1fms", scheme, k, mean, max)
+		}
+		row.ECMPMaxOverMean = row.ECMPMaxMs / row.ECMPMeanMs
+		row.FBMaxOverMean = row.FBMaxMs / row.FBMeanMs
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func (o Options) runValidation(scheme Scheme, k int, size int64) (meanMs, maxMs float64) {
+	rng := sim.NewRNG(o.Seed)
+	return o.runValidationSetup(scheme.setup(rng.Fork("scheme"), core.Config{}), k, size)
+}
+
+// runValidationSetup runs the ToR-to-ToR microbenchmark with an explicit
+// scheme setup (the ablation experiment passes raw FlowBender configs).
+func (o Options) runValidationSetup(set schemeSetup, k int, size int64) (meanMs, maxMs float64) {
+	eng := sim.NewEngine()
+
+	p := o.params()
+	p.PFC = set.pfc
+	ft := topo.NewFatTree(eng, p)
+	ft.SetSelector(set.sel)
+
+	ids := workload.NewIDAllocator(netsim.FlowID(o.Seed * 131))
+	flows := workload.Validation(ids,
+		func(id netsim.FlowID, src, dst *netsim.Host, sz int64) *tcp.Flow {
+			return tcp.StartFlow(eng, set.cfg, id, src, dst, sz)
+		},
+		hostsOf(ft, 0, 0), hostsOf(ft, 1, 0), k, size)
+
+	drain(eng, 60*sim.Second, allFlowsDone(flows))
+
+	var s stats.Sample
+	for _, f := range flows {
+		if f.Done() {
+			s.Add(f.FCT().Seconds() * 1000)
+		}
+	}
+	return s.Mean(), s.Max()
+}
+
+// Print writes the table in the paper's layout.
+func (r *Table1Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table 1: flow completion times, %d MB ToR-to-ToR flows, %d paths\n",
+		r.FlowBytes/1_000_000, r.Paths)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Flows\tECMP mean (ms)\tECMP max (ms)\tFlowBender mean (ms)\tFlowBender max (ms)\tideal (ms)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			row.Flows, row.ECMPMeanMs, row.ECMPMaxMs, row.FBMeanMs, row.FBMaxMs, row.IdealMs)
+	}
+	tw.Flush()
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  k=%d: max/mean ECMP=%.2f FlowBender=%.2f\n",
+			row.Flows, row.ECMPMaxOverMean, row.FBMaxOverMean)
+	}
+}

@@ -1,0 +1,89 @@
+package netsim
+
+import (
+	"fmt"
+
+	"flowbender/internal/sim"
+)
+
+// Handler receives packets addressed to a flow terminating at a host.
+// TCP senders/receivers and UDP sinks implement it.
+type Handler interface {
+	Deliver(pkt *Packet)
+}
+
+// Host is an end host with a single NIC. The paper's per-direction host
+// processing delay (20 µs in §4.2, covering kernel + NIC latency) is applied
+// both when sending and when receiving, so the bare-metal inter-pod RTT of
+// the simulated fat-tree matches the paper's 90 µs.
+type Host struct {
+	eng *sim.Engine
+	id  NodeID
+	// NIC is the host's egress port.
+	NIC *Port
+	// Delay is the per-direction host processing delay.
+	Delay sim.Time
+
+	handlers map[FlowID]Handler
+
+	// Counters.
+	RxPackets  int64
+	RxBytes    int64
+	Unclaimed  int64 // packets with no registered handler
+	SentwArmed int64
+}
+
+// NewHost creates a host whose NIC transmits at rateBps. The NIC queue is
+// unbounded: the sending transport's window, not the local NIC, is the
+// modeled bottleneck.
+func NewHost(eng *sim.Engine, id NodeID, rateBps int64, delay sim.Time) *Host {
+	return &Host{
+		eng:      eng,
+		id:       id,
+		NIC:      NewPort(eng, rateBps),
+		Delay:    delay,
+		handlers: make(map[FlowID]Handler),
+	}
+}
+
+// ID returns the host's node identifier.
+func (h *Host) ID() NodeID { return h.id }
+
+// Register attaches a flow handler; packets for flow are delivered to it.
+func (h *Host) Register(flow FlowID, hd Handler) {
+	if _, dup := h.handlers[flow]; dup {
+		panic(fmt.Sprintf("netsim: host %d: duplicate handler for flow %d", h.id, flow))
+	}
+	h.handlers[flow] = hd
+}
+
+// Unregister detaches a flow handler.
+func (h *Host) Unregister(flow FlowID) { delete(h.handlers, flow) }
+
+// Send emits a packet from this host after the host processing delay.
+func (h *Host) Send(pkt *Packet) {
+	if h.Delay > 0 {
+		h.eng.Schedule(h.Delay, func() { h.NIC.Enqueue(pkt) })
+	} else {
+		h.NIC.Enqueue(pkt)
+	}
+}
+
+// Receive implements Device.
+func (h *Host) Receive(pkt *Packet, _ int) {
+	h.RxPackets++
+	h.RxBytes += int64(pkt.Size)
+	if h.Delay > 0 {
+		h.eng.Schedule(h.Delay, func() { h.deliver(pkt) })
+	} else {
+		h.deliver(pkt)
+	}
+}
+
+func (h *Host) deliver(pkt *Packet) {
+	if hd, ok := h.handlers[pkt.Flow]; ok {
+		hd.Deliver(pkt)
+		return
+	}
+	h.Unclaimed++
+}

@@ -1,0 +1,138 @@
+// Package netsim models a store-and-forward packet fabric: hosts, switches,
+// links, drop-tail queues with DCTCP-style ECN marking, and optional
+// Priority Flow Control (PFC) for lossless operation (used by DeTail).
+//
+// The fabric is deliberately protocol-agnostic: transports live in
+// internal/tcp and internal/udp and exchange *Packet values with the fabric
+// through the Host type. Path selection at switches is pluggable through the
+// Selector interface (implemented in internal/routing), which is how ECMP,
+// RPS, and DeTail differ; FlowBender needs only the ECMP selector because its
+// adaptivity lives at the host (the PathTag field below).
+package netsim
+
+import (
+	"fmt"
+
+	"flowbender/internal/sim"
+)
+
+// NodeID identifies a host or switch in the network. Hosts and switches are
+// numbered in separate spaces by the topology builder.
+type NodeID int32
+
+// FlowID uniquely identifies a transport flow within one simulation.
+type FlowID int64
+
+// Proto is the transport protocol of a packet.
+type Proto uint8
+
+const (
+	// ProtoTCP marks TCP segments (data and ACKs).
+	ProtoTCP Proto = iota
+	// ProtoUDP marks unreliable datagrams.
+	ProtoUDP
+	numProtos
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	}
+	return fmt.Sprintf("proto(%d)", uint8(p))
+}
+
+// Kind distinguishes data segments from acknowledgments.
+type Kind uint8
+
+const (
+	// KindData is a payload-carrying segment.
+	KindData Kind = iota
+	// KindAck is a (payload-free) TCP acknowledgment.
+	KindAck
+	// KindSyn opens a connection (only when handshake modeling is enabled).
+	KindSyn
+	// KindSynAck completes the handshake.
+	KindSynAck
+)
+
+// HeaderBytes is the modeled wire overhead per packet (Ethernet + IP + TCP).
+const HeaderBytes = 40
+
+// Packet is one simulated packet. Packets are passed by pointer and are not
+// copied as they traverse the fabric; a packet must not be reused by the
+// sender after it has been handed to the network.
+type Packet struct {
+	Flow     FlowID
+	Src, Dst NodeID
+	SrcPort  uint16
+	DstPort  uint16
+	Proto    Proto
+	Kind     Kind
+
+	// PathTag is the paper's flexible hash field "V" (e.g. TTL or VLAN ID):
+	// switches fold it into the ECMP hash, so changing it re-routes the flow.
+	PathTag uint32
+
+	// Seq is the first payload byte for data segments, or the cumulative
+	// acknowledgment number for ACKs.
+	Seq     int64
+	Payload int // payload bytes carried
+	Size    int // total wire size in bytes (Payload + HeaderBytes)
+
+	ECT  bool // ECN-capable transport
+	CE   bool // congestion experienced (set by marking queues)
+	ECE  bool // on ACKs: echo of the acked segment's CE bit
+	Retx bool // segment is a retransmission (excluded from RTT sampling)
+
+	SentAt sim.Time // virtual time the transport emitted the packet
+	EchoTS sim.Time // on ACKs: SentAt of the segment being acknowledged, or -1
+
+	// Sacks carries the receiver's selective-acknowledgment blocks on ACKs:
+	// byte ranges above Seq that have been received. Real stacks cap the
+	// option at 3-4 blocks; the receiver here reports the blocks nearest
+	// the cumulative ACK point, which is what matters for recovery.
+	Sacks []SackBlock
+
+	// DSACK marks an ACK triggered by a fully duplicate data segment — the
+	// signal (RFC 2883) senders use to detect spurious retransmissions and
+	// undo the congestion-window reduction, as Linux does.
+	DSACK bool
+
+	// ReorderDist, on ACKs, is how many bytes below the highest received
+	// sequence the (original, non-retransmitted) triggering data segment
+	// arrived — the receiver-observed reordering depth that lets senders
+	// adapt their reordering window, as Linux's SACK-based
+	// tcp_update_reordering does.
+	ReorderDist int64
+
+	Hops int // switch hops traversed so far, for diagnostics
+
+	// PFC ingress accounting (set by switches with PFC enabled).
+	pfcSw *Switch
+	pfcIn int
+}
+
+func (p *Packet) String() string {
+	k := "data"
+	if p.Kind == KindAck {
+		k = "ack"
+	}
+	return fmt.Sprintf("%s %s flow=%d %d->%d seq=%d len=%d tag=%d ce=%v",
+		p.Proto, k, p.Flow, p.Src, p.Dst, p.Seq, p.Payload, p.PathTag, p.CE)
+}
+
+// SackBlock is one selectively acknowledged byte range [Start, End).
+type SackBlock struct {
+	Start, End int64
+}
+
+// Device is anything packets can be delivered to: a Host or a Switch.
+type Device interface {
+	// ID returns the device's node identifier.
+	ID() NodeID
+	// Receive accepts a packet arriving on input port inPort.
+	Receive(pkt *Packet, inPort int)
+}

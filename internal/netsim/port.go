@@ -1,0 +1,103 @@
+package netsim
+
+import "flowbender/internal/sim"
+
+// Link is the unidirectional wire attached to an egress Port. Its peer is
+// the device (and input-port number) that receives what the port transmits.
+type Link struct {
+	To     Device
+	ToPort int
+	// Delay is the propagation delay.
+	Delay sim.Time
+	// Down marks a failed link: transmissions complete but packets are lost.
+	Down bool
+	// DroppedDown counts packets lost to a failed link.
+	DroppedDown int64
+}
+
+// Port is an egress port: a queue draining into a serializing transmitter at
+// a fixed rate onto a Link. A Port may be paused by downstream PFC.
+type Port struct {
+	eng *sim.Engine
+	// RateBps is the line rate in bits per second.
+	RateBps int64
+	Q       Queue
+	Link    Link
+
+	busy   bool
+	paused bool
+
+	// onSent, if set, runs when a packet's serialization completes (used by
+	// PFC switches to release ingress accounting).
+	onSent func(pkt *Packet)
+
+	// TxBytes counts transmitted wire bytes per protocol (hotspot experiment).
+	TxBytes [numProtos]int64
+	// TxPackets counts transmitted packets.
+	TxPackets int64
+}
+
+// NewPort returns a port transmitting at rateBps driven by eng.
+func NewPort(eng *sim.Engine, rateBps int64) *Port {
+	return &Port{eng: eng, RateBps: rateBps}
+}
+
+// SerializationDelay returns the time to put size bytes on the wire.
+func (p *Port) SerializationDelay(size int) sim.Time {
+	return sim.Time(int64(size) * 8 * int64(sim.Second) / p.RateBps)
+}
+
+// Enqueue offers a packet to the port. It returns false if the queue dropped
+// the packet.
+func (p *Port) Enqueue(pkt *Packet) bool {
+	if !p.Q.Push(pkt) {
+		return false
+	}
+	p.kick()
+	return true
+}
+
+// SetPaused pauses or resumes the transmitter (PFC). A packet already being
+// serialized finishes; pausing only prevents starting the next one.
+func (p *Port) SetPaused(v bool) {
+	if p.paused == v {
+		return
+	}
+	p.paused = v
+	if !v {
+		p.kick()
+	}
+}
+
+// Paused reports whether the port is currently PFC-paused.
+func (p *Port) Paused() bool { return p.paused }
+
+// QueuedBytes returns the occupancy of the egress queue.
+func (p *Port) QueuedBytes() int { return p.Q.Bytes() }
+
+func (p *Port) kick() {
+	if p.busy || p.paused || p.Q.Empty() {
+		return
+	}
+	pkt := p.Q.Pop()
+	p.busy = true
+	p.eng.Schedule(p.SerializationDelay(pkt.Size), func() {
+		p.busy = false
+		p.TxBytes[pkt.Proto] += int64(pkt.Size)
+		p.TxPackets++
+		if p.onSent != nil {
+			p.onSent(pkt)
+		}
+		if p.Link.Down || p.Link.To == nil {
+			p.Link.DroppedDown++
+		} else {
+			to, toPort := p.Link.To, p.Link.ToPort
+			if p.Link.Delay > 0 {
+				p.eng.Schedule(p.Link.Delay, func() { to.Receive(pkt, toPort) })
+			} else {
+				to.Receive(pkt, toPort)
+			}
+		}
+		p.kick()
+	})
+}

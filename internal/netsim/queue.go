@@ -1,0 +1,75 @@
+package netsim
+
+// Queue is a FIFO byte-bounded drop-tail packet queue with DCTCP-style ECN
+// marking: every ECN-capable packet that arrives while the (post-arrival)
+// occupancy exceeds MarkK bytes has its CE bit set, mirroring the
+// instantaneous single-threshold marking DCTCP configures on commodity
+// switches.
+type Queue struct {
+	// Cap is the maximum occupancy in bytes; 0 means unbounded (lossless).
+	Cap int
+	// MarkK is the ECN marking threshold in bytes; 0 disables marking.
+	MarkK int
+
+	bytes int
+	buf   []*Packet
+	head  int
+
+	// Counters.
+	Enqueued int64
+	Dropped  int64
+	Marked   int64
+	MaxBytes int
+}
+
+// Push appends pkt, marking its CE bit if the queue exceeds MarkK. It
+// returns false (and counts a drop) if the packet does not fit.
+func (q *Queue) Push(pkt *Packet) bool {
+	if q.Cap > 0 && q.bytes+pkt.Size > q.Cap {
+		q.Dropped++
+		return false
+	}
+	q.bytes += pkt.Size
+	if q.bytes > q.MaxBytes {
+		q.MaxBytes = q.bytes
+	}
+	if q.MarkK > 0 && pkt.ECT && q.bytes > q.MarkK {
+		if !pkt.CE {
+			q.Marked++
+		}
+		pkt.CE = true
+	}
+	q.buf = append(q.buf, pkt)
+	q.Enqueued++
+	return true
+}
+
+// Pop removes and returns the oldest packet, or nil when empty.
+func (q *Queue) Pop() *Packet {
+	if q.head >= len(q.buf) {
+		return nil
+	}
+	pkt := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	q.bytes -= pkt.Size
+	// Compact lazily so the backing array does not grow without bound.
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return pkt
+}
+
+// Bytes returns the current occupancy in bytes.
+func (q *Queue) Bytes() int { return q.bytes }
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.buf) - q.head }
+
+// Empty reports whether no packets are queued.
+func (q *Queue) Empty() bool { return q.Len() == 0 }

@@ -1,0 +1,230 @@
+package netsim
+
+import (
+	"fmt"
+
+	"flowbender/internal/sim"
+)
+
+// Selector picks an egress port for a packet among the eligible equal-cost
+// ports of a switch. Implementations live in internal/routing: hash-based
+// ECMP (also used by FlowBender), per-packet random (RPS), and least-queued
+// (DeTail's packet-level adaptive routing).
+type Selector interface {
+	// Select returns one element of eligible (len(eligible) >= 2).
+	Select(sw *Switch, pkt *Packet, eligible []int32) int32
+}
+
+// PFCConfig enables Priority Flow Control on a switch: when the per-input
+// ingress accounting exceeds Pause bytes the upstream transmitter is paused,
+// and it is resumed once the accounting drains below Unpause bytes. With PFC
+// enabled the egress queues are lossless (unbounded), matching DeTail's
+// requirement.
+type PFCConfig struct {
+	Pause   int
+	Unpause int
+}
+
+// SwitchConfig describes a switch's per-port queues and forwarding pipeline.
+type SwitchConfig struct {
+	// QueueCap is the per-egress-port drop-tail capacity in bytes
+	// (ignored — lossless — when PFC is set).
+	QueueCap int
+	// SharedBuffer, when > 0, additionally bounds the switch-wide buffered
+	// bytes across all egress ports — the shared-memory architecture of the
+	// paper's testbed switches (2 MB shared, §4.3). A packet is dropped
+	// when either its port queue or the shared pool is full.
+	SharedBuffer int
+	// MarkK is the DCTCP ECN marking threshold in bytes (0 disables).
+	MarkK int
+	// FwdDelay is the per-packet forwarding latency through the switch.
+	FwdDelay sim.Time
+	// PFC, when non-nil, makes the switch lossless with pause/unpause
+	// thresholds on the per-input ingress accounting.
+	PFC *PFCConfig
+}
+
+// Switch is an output-queued switch (optionally combined input–output queued
+// via PFC ingress accounting, as the paper's DeTail setup requires).
+type Switch struct {
+	eng *sim.Engine
+	id  NodeID
+	cfg SwitchConfig
+
+	// Ports are the egress ports, indexed by port number.
+	Ports []*Port
+	// upstream[i] is the egress port on the neighbouring device that feeds
+	// our input port i (needed to deliver PFC pause frames).
+	upstream []*Port
+
+	// table maps destination host NodeID -> eligible egress ports.
+	table [][]int32
+	sel   Selector
+
+	// PFC ingress accounting.
+	ingressBytes []int
+	pausedUp     []bool
+
+	// Shared-buffer accounting (bytes buffered across all egress ports,
+	// including the packet currently serializing).
+	buffered int64
+
+	// Counters.
+	RxPackets   int64
+	NoRoute     int64
+	DropsNoBuf  int64
+	PauseEvents int64
+}
+
+// NewSwitch creates a switch with nPorts egress ports all at rateBps.
+func NewSwitch(eng *sim.Engine, id NodeID, nPorts int, rateBps int64, cfg SwitchConfig) *Switch {
+	s := &Switch{
+		eng:          eng,
+		id:           id,
+		cfg:          cfg,
+		Ports:        make([]*Port, nPorts),
+		upstream:     make([]*Port, nPorts),
+		ingressBytes: make([]int, nPorts),
+		pausedUp:     make([]bool, nPorts),
+	}
+	for i := range s.Ports {
+		p := NewPort(eng, rateBps)
+		p.Q.MarkK = cfg.MarkK
+		if cfg.PFC == nil {
+			p.Q.Cap = cfg.QueueCap
+		}
+		if cfg.PFC != nil || cfg.SharedBuffer > 0 {
+			p.onSent = s.onPortSent
+		}
+		s.Ports[i] = p
+	}
+	return s
+}
+
+// onPortSent releases per-packet buffer accounting when an egress port
+// finishes serializing a packet.
+func (s *Switch) onPortSent(pkt *Packet) {
+	if s.cfg.SharedBuffer > 0 {
+		s.buffered -= int64(pkt.Size)
+	}
+	if s.cfg.PFC != nil {
+		s.releaseIngress(pkt)
+	}
+}
+
+// BufferedBytes returns the switch-wide buffered byte count (only tracked
+// when SharedBuffer is configured).
+func (s *Switch) BufferedBytes() int64 { return s.buffered }
+
+// ID returns the switch's node identifier.
+func (s *Switch) ID() NodeID { return s.id }
+
+// SetSelector installs the multipath port selector.
+func (s *Switch) SetSelector(sel Selector) { s.sel = sel }
+
+// SetRoutes installs the forwarding table: routes[dst] lists the eligible
+// egress ports toward host dst.
+func (s *Switch) SetRoutes(routes [][]int32) { s.table = routes }
+
+// Routes returns the installed forwarding table (for tests and tools).
+func (s *Switch) Routes() [][]int32 { return s.table }
+
+// QueueBytes returns the egress occupancy of the given port, used by
+// adaptive selectors such as DeTail.
+func (s *Switch) QueueBytes(port int32) int { return s.Ports[port].Q.Bytes() }
+
+// Receive implements Device.
+func (s *Switch) Receive(pkt *Packet, inPort int) {
+	s.RxPackets++
+	if s.cfg.PFC != nil {
+		s.ingressBytes[inPort] += pkt.Size
+		pkt.pfcSw = s
+		pkt.pfcIn = inPort
+		s.checkPause(inPort)
+	}
+	pkt.Hops++
+	if s.cfg.FwdDelay > 0 {
+		s.eng.Schedule(s.cfg.FwdDelay, func() { s.forward(pkt) })
+	} else {
+		s.forward(pkt)
+	}
+}
+
+func (s *Switch) forward(pkt *Packet) {
+	if int(pkt.Dst) >= len(s.table) {
+		panic(fmt.Sprintf("netsim: switch %d has no table entry for dst %d", s.id, pkt.Dst))
+	}
+	eligible := s.table[pkt.Dst]
+	var out int32
+	switch {
+	case len(eligible) == 0:
+		s.NoRoute++
+		s.dropPFC(pkt)
+		return
+	case len(eligible) == 1:
+		out = eligible[0]
+	default:
+		out = s.sel.Select(s, pkt, eligible)
+	}
+	if sb := s.cfg.SharedBuffer; sb > 0 && s.buffered+int64(pkt.Size) > int64(sb) {
+		s.DropsNoBuf++
+		s.dropPFC(pkt)
+		return
+	}
+	if !s.Ports[out].Enqueue(pkt) {
+		s.DropsNoBuf++
+		s.dropPFC(pkt)
+		return
+	}
+	if s.cfg.SharedBuffer > 0 {
+		s.buffered += int64(pkt.Size)
+	}
+}
+
+// dropPFC releases the PFC ingress accounting for a packet dropped inside
+// this switch (can only happen via NoRoute when PFC is on).
+func (s *Switch) dropPFC(pkt *Packet) {
+	if pkt.pfcSw == s {
+		s.releaseIngress(pkt)
+	}
+}
+
+func (s *Switch) releaseIngress(pkt *Packet) {
+	if pkt.pfcSw != s {
+		return
+	}
+	in := pkt.pfcIn
+	pkt.pfcSw = nil
+	s.ingressBytes[in] -= pkt.Size
+	s.checkPause(in)
+}
+
+func (s *Switch) checkPause(in int) {
+	cfg := s.cfg.PFC
+	up := s.upstream[in]
+	if up == nil {
+		return
+	}
+	switch {
+	case !s.pausedUp[in] && s.ingressBytes[in] > cfg.Pause:
+		s.pausedUp[in] = true
+		s.PauseEvents++
+		s.sendPFC(up, true)
+	case s.pausedUp[in] && s.ingressBytes[in] <= cfg.Unpause:
+		s.pausedUp[in] = false
+		s.sendPFC(up, false)
+	}
+}
+
+// sendPFC delivers a pause/unpause control frame to the upstream transmitter
+// after the reverse-direction propagation delay. Control frames are modeled
+// as out-of-band (they do not occupy queue space), which is how PFC frames
+// bypass data queuing in real NICs.
+func (s *Switch) sendPFC(up *Port, pause bool) {
+	d := up.Link.Delay
+	if d > 0 {
+		s.eng.Schedule(d, func() { up.SetPaused(pause) })
+	} else {
+		up.SetPaused(pause)
+	}
+}

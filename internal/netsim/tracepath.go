@@ -1,0 +1,59 @@
+package netsim
+
+import "fmt"
+
+// TracePath walks the forwarding decision chain a packet would take from a
+// host to its destination, without transmitting anything: at each switch it
+// consults the routing table and (for multipath entries) the installed
+// selector, then follows the chosen egress link. It returns the node IDs
+// visited, starting with the source host and ending with the destination
+// host.
+//
+// The walk is exact for deterministic selectors (ECMP, WCMP — the hash
+// fully determines the port). For randomized selectors (RPS) it consumes
+// random draws and returns *a* possible path. Queue-state-dependent
+// selectors (DeTail) are evaluated against current queue occupancies.
+//
+// It fails if the path exceeds maxHops (a routing loop), crosses a failed
+// link, or reaches a device with no route.
+func TracePath(from *Host, pkt *Packet, maxHops int) ([]NodeID, error) {
+	if maxHops <= 0 {
+		maxHops = 16
+	}
+	path := []NodeID{from.ID()}
+	link := &from.NIC.Link
+	for hop := 0; hop < maxHops; hop++ {
+		if link.To == nil {
+			return path, fmt.Errorf("netsim: trace: dangling link at %d", path[len(path)-1])
+		}
+		if link.Down {
+			return path, fmt.Errorf("netsim: trace: failed link after %d", path[len(path)-1])
+		}
+		switch dev := link.To.(type) {
+		case *Host:
+			path = append(path, dev.ID())
+			if dev.ID() != pkt.Dst {
+				return path, fmt.Errorf("netsim: trace: delivered to host %d, want %d", dev.ID(), pkt.Dst)
+			}
+			return path, nil
+		case *Switch:
+			path = append(path, dev.ID())
+			routes := dev.Routes()
+			if int(pkt.Dst) >= len(routes) || len(routes[pkt.Dst]) == 0 {
+				return path, fmt.Errorf("netsim: trace: switch %d has no route to %d", dev.ID(), pkt.Dst)
+			}
+			eligible := routes[pkt.Dst]
+			out := eligible[0]
+			if len(eligible) > 1 {
+				if dev.sel == nil {
+					return path, fmt.Errorf("netsim: trace: switch %d has multipath entry but no selector", dev.ID())
+				}
+				out = dev.sel.Select(dev, pkt, eligible)
+			}
+			link = &dev.Ports[out].Link
+		default:
+			return path, fmt.Errorf("netsim: trace: unknown device type %T", dev)
+		}
+	}
+	return path, fmt.Errorf("netsim: trace: exceeded %d hops (routing loop?)", maxHops)
+}

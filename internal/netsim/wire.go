@@ -1,0 +1,47 @@
+package netsim
+
+import "flowbender/internal/sim"
+
+// Duplex is a handle to a full-duplex cable between two devices, usable to
+// inject failures (both directions at once, as a cut cable behaves).
+type Duplex struct {
+	AtoB *Port // a's egress toward b
+	BtoA *Port // b's egress toward a
+}
+
+// Fail cuts the cable: packets serialized onto either direction are lost.
+// Switch forwarding tables are deliberately left stale, modeling the
+// O(seconds) routing reconvergence the paper contrasts against FlowBender's
+// O(RTO) end-to-end recovery.
+func (d *Duplex) Fail() {
+	d.AtoB.Link.Down = true
+	d.BtoA.Link.Down = true
+}
+
+// Restore brings the cable back up.
+func (d *Duplex) Restore() {
+	d.AtoB.Link.Down = false
+	d.BtoA.Link.Down = false
+}
+
+// Failed reports whether the cable is currently down.
+func (d *Duplex) Failed() bool { return d.AtoB.Link.Down }
+
+// WireSwitches connects egress port ap of a to input/egress port bp of b in
+// both directions with the given propagation delay. Port rates were fixed at
+// switch construction.
+func WireSwitches(a *Switch, ap int, b *Switch, bp int, delay sim.Time) *Duplex {
+	a.Ports[ap].Link = Link{To: b, ToPort: bp, Delay: delay}
+	b.Ports[bp].Link = Link{To: a, ToPort: ap, Delay: delay}
+	a.upstream[ap] = b.Ports[bp]
+	b.upstream[bp] = a.Ports[ap]
+	return &Duplex{AtoB: a.Ports[ap], BtoA: b.Ports[bp]}
+}
+
+// WireHost connects host h to switch port sp of sw in both directions.
+func WireHost(h *Host, sw *Switch, sp int, delay sim.Time) *Duplex {
+	h.NIC.Link = Link{To: sw, ToPort: sp, Delay: delay}
+	sw.Ports[sp].Link = Link{To: h, ToPort: 0, Delay: delay}
+	sw.upstream[sp] = h.NIC
+	return &Duplex{AtoB: h.NIC, BtoA: sw.Ports[sp]}
+}

@@ -1,0 +1,57 @@
+// Package routing implements the multipath port-selection policies the paper
+// compares: static hash-based ECMP (the substrate FlowBender rides on),
+// per-packet Random Packet Spraying (RPS), DeTail's per-packet adaptive
+// least-queued choice, and weighted ECMP (WCMP) for asymmetric fabrics.
+package routing
+
+import "flowbender/internal/netsim"
+
+// flowKeyHash hashes the fields commodity switches feed their ECMP engines —
+// the 5-tuple plus the paper's flexible field (PathTag) — together with a
+// per-switch salt. The salt models the per-device hash seed real switches
+// use; without it, consecutive tiers would make correlated choices and
+// artificially collapse path diversity.
+//
+// FNV-1a over the fixed-width fields, followed by a murmur-style avalanche
+// finalizer. The finalizer matters: raw FNV's low bits are an affine
+// function of the last bytes mixed in, so "hash mod nports" would cycle in
+// lockstep with the path tag at every switch — changing V would move the
+// forward and reverse paths in a rigid pattern instead of re-drawing them
+// independently, which breaks FlowBender's "statistical drift away from bad
+// paths" argument (§3.3.2).
+func flowKeyHash(pkt *netsim.Packet, salt uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(uint64(uint32(pkt.Src))<<32 | uint64(uint32(pkt.Dst)))
+	mix(uint64(pkt.SrcPort)<<32 | uint64(pkt.DstPort)<<16 | uint64(pkt.Proto))
+	mix(uint64(pkt.PathTag))
+	mix(salt)
+	// fmix64 avalanche (MurmurHash3 finalizer).
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+func switchSalt(sw *netsim.Switch) uint64 {
+	// Derived purely from the switch's stable identity.
+	x := uint64(sw.ID()) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,107 @@
+package routing
+
+import (
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+)
+
+// ECMP is the standard static hash selector: all packets of a flow (for a
+// fixed PathTag) take the same port. FlowBender uses this exact selector —
+// its adaptivity comes solely from the host changing the PathTag.
+type ECMP struct{}
+
+// Select implements netsim.Selector.
+func (ECMP) Select(sw *netsim.Switch, pkt *netsim.Packet, eligible []int32) int32 {
+	h := flowKeyHash(pkt, switchSalt(sw))
+	return eligible[h%uint64(len(eligible))]
+}
+
+// RPS is Random Packet Spraying: every packet independently picks a uniform
+// random eligible port, maximizing instantaneous balance at the cost of
+// heavy reordering.
+type RPS struct {
+	RNG *sim.RNG
+}
+
+// Select implements netsim.Selector.
+func (r *RPS) Select(_ *netsim.Switch, _ *netsim.Packet, eligible []int32) int32 {
+	return eligible[r.RNG.Intn(len(eligible))]
+}
+
+// DeTail is packet-level adaptive routing: each packet takes the eligible
+// port with the smallest egress queue. Per the paper's methodology (§4.2) we
+// implement the idealized variant that compares the exact occupancy of all
+// eligible ports with no added latency, i.e. the best possible DeTail. Ties
+// are broken by the flow hash so symmetric load does not synchronize onto
+// one port.
+type DeTail struct{}
+
+// Select implements netsim.Selector.
+func (DeTail) Select(sw *netsim.Switch, pkt *netsim.Packet, eligible []int32) int32 {
+	best := eligible[0]
+	bestQ := sw.QueueBytes(best)
+	nBest := 1
+	for _, e := range eligible[1:] {
+		q := sw.QueueBytes(e)
+		switch {
+		case q < bestQ:
+			best, bestQ, nBest = e, q, 1
+		case q == bestQ:
+			nBest++
+		}
+	}
+	if nBest == 1 {
+		return best
+	}
+	// Hash-based tie-break among the minima.
+	k := int(flowKeyHash(pkt, switchSalt(sw)) % uint64(nBest))
+	for _, e := range eligible {
+		if sw.QueueBytes(e) == bestQ {
+			if k == 0 {
+				return e
+			}
+			k--
+		}
+	}
+	return best
+}
+
+// WCMP is weighted-cost multipathing: a static hash spread over a replicated
+// port list, where each eligible port appears in proportion to its
+// configured weight. The paper discusses WCMP in §4.3.1 as the mechanism for
+// asymmetric topologies; FlowBender composes with it unchanged.
+type WCMP struct {
+	// Weights maps an egress port number to its integer weight. Eligible
+	// ports without an entry default to weight 1; weight 0 removes a port.
+	Weights map[int32]int
+}
+
+// Select implements netsim.Selector.
+func (w *WCMP) Select(sw *netsim.Switch, pkt *netsim.Packet, eligible []int32) int32 {
+	total := 0
+	for _, e := range eligible {
+		total += w.weight(e)
+	}
+	if total == 0 {
+		return eligible[0]
+	}
+	h := int(flowKeyHash(pkt, switchSalt(sw)) % uint64(total))
+	for _, e := range eligible {
+		h -= w.weight(e)
+		if h < 0 {
+			return e
+		}
+	}
+	return eligible[len(eligible)-1]
+}
+
+func (w *WCMP) weight(port int32) int {
+	if w.Weights == nil {
+		return 1
+	}
+	wt, ok := w.Weights[port]
+	if !ok {
+		return 1
+	}
+	return wt
+}

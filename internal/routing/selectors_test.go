@@ -1,0 +1,215 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+)
+
+func newSwitch(ports int) *netsim.Switch {
+	return netsim.NewSwitch(sim.NewEngine(), 500, ports, 10_000_000_000, netsim.SwitchConfig{})
+}
+
+func pkt(src, dst netsim.NodeID, sport uint16, tag uint32) *netsim.Packet {
+	return &netsim.Packet{Src: src, Dst: dst, SrcPort: sport, DstPort: 5001, PathTag: tag}
+}
+
+func TestECMPDeterministicPerFlow(t *testing.T) {
+	sw := newSwitch(8)
+	eligible := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	sel := ECMP{}
+	p := pkt(1, 2, 1234, 0)
+	first := sel.Select(sw, p, eligible)
+	for i := 0; i < 100; i++ {
+		if got := sel.Select(sw, p, eligible); got != first {
+			t.Fatal("ECMP choice not stable for identical packets")
+		}
+	}
+}
+
+func TestECMPTagChangesMapping(t *testing.T) {
+	sw := newSwitch(8)
+	eligible := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	sel := ECMP{}
+	base := sel.Select(sw, pkt(1, 2, 1234, 0), eligible)
+	changed := false
+	for tag := uint32(1); tag < 16; tag++ {
+		if sel.Select(sw, pkt(1, 2, 1234, tag), eligible) != base {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("PathTag has no effect on the ECMP hash")
+	}
+}
+
+func TestECMPSpreadsFlows(t *testing.T) {
+	sw := newSwitch(8)
+	eligible := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	sel := ECMP{}
+	counts := make(map[int32]int)
+	const n = 8000
+	for i := 0; i < n; i++ {
+		p := pkt(netsim.NodeID(i), netsim.NodeID(i*7+3), uint16(i*31), 0)
+		counts[sel.Select(sw, p, eligible)]++
+	}
+	for port, c := range counts {
+		if c < n/8/2 || c > n/8*2 {
+			t.Fatalf("port %d got %d of %d (poor spread)", port, c, n)
+		}
+	}
+}
+
+func TestECMPPerSwitchDecorrelated(t *testing.T) {
+	// Two different switches must not make identical choices for the same
+	// flows (salted hash); otherwise tiers collapse diversity.
+	a, b := newSwitchID(10, 8), newSwitchID(11, 8)
+	eligible := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	sel := ECMP{}
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		p := pkt(netsim.NodeID(i), netsim.NodeID(i+1), uint16(i), 0)
+		if sel.Select(a, p, eligible) == sel.Select(b, p, eligible) {
+			same++
+		}
+	}
+	if same > n/4 {
+		t.Fatalf("switch salts correlated: %d/%d identical choices", same, n)
+	}
+}
+
+func newSwitchID(id netsim.NodeID, ports int) *netsim.Switch {
+	return netsim.NewSwitch(sim.NewEngine(), id, ports, 10_000_000_000, netsim.SwitchConfig{})
+}
+
+func TestECMPAlwaysEligible(t *testing.T) {
+	sw := newSwitch(16)
+	sel := ECMP{}
+	f := func(src, dst int32, sport uint16, tag uint32, mask uint8) bool {
+		n := int(mask%15) + 2
+		eligible := make([]int32, n)
+		for i := range eligible {
+			eligible[i] = int32(i)
+		}
+		got := sel.Select(sw, pkt(netsim.NodeID(src), netsim.NodeID(dst), sport, tag), eligible)
+		return got >= 0 && int(got) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestECMPTagDrawsDecorrelated guards against a subtle failure mode of weak
+// hashes: if the low bits of the hash are an affine function of the tag, the
+// forward-path and reverse-path draws cycle in lockstep across tag values,
+// and a flow straddling a failed link can NEVER find a (fwd, rev) pair that
+// avoids it. FlowBender's failure recovery depends on independent re-draws.
+func TestECMPTagDrawsDecorrelated(t *testing.T) {
+	fwdSw, revSw := newSwitchID(20, 4), newSwitchID(21, 4)
+	eligible := []int32{0, 1, 2, 3}
+	sel := ECMP{}
+	// Over many flows and 8 tag values each, every (fwd, rev) combination
+	// class must occur: in particular "fwd in low half AND rev in low half".
+	combos := map[[2]bool]int{}
+	for flow := 0; flow < 200; flow++ {
+		src, dst := netsim.NodeID(flow), netsim.NodeID(1000+flow)
+		sport := uint16(10000 + flow*7)
+		for tag := uint32(0); tag < 8; tag++ {
+			fwd := sel.Select(fwdSw, pkt(src, dst, sport, tag), eligible)
+			rev := sel.Select(revSw, &netsim.Packet{Src: dst, Dst: src, SrcPort: 5001, DstPort: sport, PathTag: tag}, eligible)
+			combos[[2]bool{fwd < 2, rev < 2}]++
+		}
+	}
+	total := 200 * 8
+	for _, k := range [][2]bool{{false, false}, {false, true}, {true, false}, {true, true}} {
+		if c := combos[k]; c < total/8 {
+			t.Fatalf("combo %v occurs only %d/%d times: fwd/rev draws correlated", k, c, total)
+		}
+	}
+}
+
+func TestRPSUniform(t *testing.T) {
+	sw := newSwitch(4)
+	sel := &RPS{RNG: sim.NewRNG(1)}
+	eligible := []int32{0, 1, 2, 3}
+	counts := make(map[int32]int)
+	p := pkt(1, 2, 1234, 0)
+	const n = 40_000
+	for i := 0; i < n; i++ {
+		counts[sel.Select(sw, p, eligible)]++
+	}
+	for port, c := range counts {
+		if c < n/4*9/10 || c > n/4*11/10 {
+			t.Fatalf("port %d got %d, want ~%d", port, c, n/4)
+		}
+	}
+}
+
+func TestDeTailPicksShortestQueue(t *testing.T) {
+	sw := newSwitch(3)
+	// Load port 0 and port 2 queues.
+	sw.Ports[0].Q.Push(&netsim.Packet{Size: 3000})
+	sw.Ports[2].Q.Push(&netsim.Packet{Size: 1000})
+	sel := DeTail{}
+	got := sel.Select(sw, pkt(1, 2, 1234, 0), []int32{0, 1, 2})
+	if got != 1 {
+		t.Fatalf("DeTail chose port %d, want the empty port 1", got)
+	}
+}
+
+func TestDeTailTieBreakIsEligible(t *testing.T) {
+	sw := newSwitch(4)
+	sel := DeTail{}
+	for i := 0; i < 100; i++ {
+		got := sel.Select(sw, pkt(netsim.NodeID(i), 2, uint16(i), 0), []int32{1, 3})
+		if got != 1 && got != 3 {
+			t.Fatalf("tie-break returned ineligible port %d", got)
+		}
+	}
+}
+
+func TestWCMPWeights(t *testing.T) {
+	sw := newSwitch(2)
+	sel := &WCMP{Weights: map[int32]int{0: 3, 1: 1}}
+	eligible := []int32{0, 1}
+	counts := make(map[int32]int)
+	const n = 8000
+	for i := 0; i < n; i++ {
+		p := pkt(netsim.NodeID(i), netsim.NodeID(i+9), uint16(i*13), 0)
+		counts[sel.Select(sw, p, eligible)]++
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 2.2 || ratio > 4 {
+		t.Fatalf("weight ratio = %.2f, want ~3", ratio)
+	}
+}
+
+func TestWCMPZeroWeightExcludesPort(t *testing.T) {
+	sw := newSwitch(2)
+	sel := &WCMP{Weights: map[int32]int{0: 0}}
+	for i := 0; i < 200; i++ {
+		p := pkt(netsim.NodeID(i), 2, uint16(i), 0)
+		if got := sel.Select(sw, p, []int32{0, 1}); got != 1 {
+			t.Fatalf("zero-weight port selected")
+		}
+	}
+}
+
+func TestWCMPNilWeightsActsLikeECMP(t *testing.T) {
+	sw := newSwitch(4)
+	sel := &WCMP{}
+	counts := make(map[int32]int)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		p := pkt(netsim.NodeID(i), netsim.NodeID(3*i+1), uint16(i*7), 0)
+		counts[sel.Select(sw, p, []int32{0, 1, 2, 3})]++
+	}
+	for port, c := range counts {
+		if c < n/4/2 || c > n/4*2 {
+			t.Fatalf("port %d got %d of %d", port, c, n)
+		}
+	}
+}

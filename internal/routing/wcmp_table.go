@@ -1,0 +1,103 @@
+package routing
+
+// QuantizeWeights scales ideal (possibly fractional) path weights into
+// integer replication counts that fit a forwarding table with at most
+// tableEntries slots — the constraint the paper's §4.3.1 highlights: real
+// ECMP tables hold few entries, so WCMP weights are represented coarsely,
+// and the resulting missubscription is what FlowBender dynamically absorbs.
+//
+// The result preserves at least one entry per path with positive weight and
+// minimizes the largest relative error greedily (largest-remainder method).
+func QuantizeWeights(ideal []float64, tableEntries int) []int {
+	n := len(ideal)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	if tableEntries < n {
+		tableEntries = n // every live path needs at least one entry
+	}
+	var sum float64
+	for _, w := range ideal {
+		if w > 0 {
+			sum += w
+		}
+	}
+	if sum == 0 {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	// Ideal fractional share of the table, floored, with one entry
+	// guaranteed per positive-weight path.
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, n)
+	used := 0
+	for i, w := range ideal {
+		if w <= 0 {
+			continue
+		}
+		exact := w / sum * float64(tableEntries)
+		fl := int(exact)
+		if fl < 1 {
+			fl = 1
+		}
+		out[i] = fl
+		used += fl
+		rems = append(rems, rem{i, exact - float64(fl)})
+	}
+	// Distribute leftover entries by largest remainder.
+	for used < tableEntries {
+		best := -1
+		for j, r := range rems {
+			if best < 0 || r.frac > rems[best].frac {
+				best = j
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out[rems[best].idx]++
+		rems[best].frac -= 1
+		used++
+	}
+	return out
+}
+
+// WeightError returns the largest relative error between the quantized
+// weights and the ideal shares (0 = perfect representation).
+func WeightError(ideal []float64, quantized []int) float64 {
+	var sumI float64
+	var sumQ int
+	for _, w := range ideal {
+		if w > 0 {
+			sumI += w
+		}
+	}
+	for _, q := range quantized {
+		sumQ += q
+	}
+	if sumI == 0 || sumQ == 0 {
+		return 0
+	}
+	var worst float64
+	for i := range ideal {
+		if ideal[i] <= 0 {
+			continue
+		}
+		want := ideal[i] / sumI
+		got := float64(quantized[i]) / float64(sumQ)
+		err := (got - want) / want
+		if err < 0 {
+			err = -err
+		}
+		if err > worst {
+			worst = err
+		}
+	}
+	return worst
+}

@@ -1,0 +1,111 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeExact(t *testing.T) {
+	got := QuantizeWeights([]float64{1, 2, 2, 2}, 7)
+	want := []int{1, 2, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if WeightError([]float64{1, 2, 2, 2}, got) != 0 {
+		t.Fatal("exact representation has nonzero error")
+	}
+}
+
+func TestQuantizeCoarse(t *testing.T) {
+	// Ideal 1:2:2:2 squeezed into 4 entries: each path keeps >= 1 entry.
+	got := QuantizeWeights([]float64{1, 2, 2, 2}, 4)
+	total := 0
+	for i, q := range got {
+		if q < 1 {
+			t.Fatalf("path %d lost its entry: %v", i, got)
+		}
+		total += q
+	}
+	if total != 4 {
+		t.Fatalf("entries used = %d, want 4", total)
+	}
+	// Coarse tables misrepresent the weights.
+	if WeightError([]float64{1, 2, 2, 2}, got) == 0 {
+		t.Fatal("4 entries cannot represent 1:2:2:2 exactly")
+	}
+}
+
+func TestQuantizeMoreEntriesReducesError(t *testing.T) {
+	ideal := []float64{1, 3, 5, 7}
+	prev := 10.0
+	for _, entries := range []int{4, 8, 16, 64, 256} {
+		q := QuantizeWeights(ideal, entries)
+		err := WeightError(ideal, q)
+		if err > prev+1e-9 {
+			t.Fatalf("error did not shrink with table size: %d entries -> %v (prev %v)", entries, err, prev)
+		}
+		prev = err
+	}
+	if prev > 0.05 {
+		t.Fatalf("256 entries still %v error", prev)
+	}
+}
+
+func TestQuantizeDegenerate(t *testing.T) {
+	if QuantizeWeights(nil, 8) != nil {
+		t.Fatal("nil ideal should give nil")
+	}
+	got := QuantizeWeights([]float64{0, 0}, 8)
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("all-zero weights: %v", got)
+	}
+	got = QuantizeWeights([]float64{5}, 1)
+	if got[0] != 1 {
+		t.Fatalf("single path: %v", got)
+	}
+}
+
+// Property: total entries <= max(tableEntries, n); every positive path
+// keeps at least one; zero-weight paths stay representable.
+func TestQuantizeProperty(t *testing.T) {
+	f := func(raw []uint8, entries uint8) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		ideal := make([]float64, len(raw))
+		anyPos := false
+		for i, r := range raw {
+			ideal[i] = float64(r)
+			if r > 0 {
+				anyPos = true
+			}
+		}
+		if !anyPos {
+			return true
+		}
+		te := int(entries%200) + 1
+		q := QuantizeWeights(ideal, te)
+		total := 0
+		for i := range q {
+			if ideal[i] > 0 && q[i] < 1 {
+				return false
+			}
+			if q[i] < 0 {
+				return false
+			}
+			total += q[i]
+		}
+		limit := te
+		if len(raw) > limit {
+			limit = len(raw)
+		}
+		// One guaranteed entry per path can push the total slightly over
+		// the requested size, never beyond limit + len(raw).
+		return total <= limit+len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

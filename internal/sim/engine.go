@@ -1,0 +1,193 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine keeps virtual time as int64 nanoseconds and executes scheduled
+// events in (time, insertion-order) order, so two runs with the same seed and
+// the same schedule of calls produce bit-identical results. All of the fabric,
+// transport, and workload packages in this repository are driven by a single
+// Engine instance per simulation run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations in nanoseconds, for readability at call sites.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts to a time.Duration for printing.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a handle to a scheduled callback. It can be cancelled before it
+// fires; cancelling an already-fired or already-cancelled event is a no-op.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when not in the heap
+	fired  bool
+	cancel bool
+}
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Fired reports whether the event's callback has run.
+func (e *Event) Fired() bool { return e.fired }
+
+// Time returns the virtual time at which the event fires or fired.
+func (e *Event) Time() Time { return e.at }
+
+// Engine is a discrete-event scheduler. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	stopped bool
+	// Executed counts events that have run, for diagnostics and tests.
+	Executed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{pq: make(eventHeap, 0, 1024)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after delay d (>= 0) of virtual time.
+func (e *Engine) Schedule(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// At runs fn at absolute virtual time t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule into the past: %d < %d", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// Cancel prevents a pending event from firing.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.fired || ev.cancel {
+		return
+	}
+	ev.cancel = true
+	// The event stays in the heap and is skipped when popped. This keeps
+	// Cancel O(1); cancelled events are reclaimed lazily.
+}
+
+// Step executes the single next event. It returns false when no runnable
+// events remain.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		ev.fn()
+		e.Executed++
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the virtual clock would
+// pass `until`. The clock is left at min(until, time of last event). Events
+// scheduled exactly at `until` are executed.
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil {
+			break
+		}
+		if ev.at > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunUntilIdle executes every pending event regardless of time.
+func (e *Engine) RunUntilIdle() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// Stop makes the current Run/RunUntilIdle call return after the event that is
+// currently executing.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+func (e *Engine) peek() *Event {
+	for len(e.pq) > 0 {
+		if e.pq[0].cancel {
+			heap.Pop(&e.pq)
+			continue
+		}
+		return e.pq[0]
+	}
+	return nil
+}
+
+// eventHeap is a min-heap ordered by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

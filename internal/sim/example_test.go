@@ -1,0 +1,32 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"flowbender/internal/sim"
+)
+
+// The engine executes scheduled callbacks in virtual-time order; ties run
+// in scheduling order.
+func ExampleEngine() {
+	eng := sim.NewEngine()
+	eng.Schedule(2*sim.Millisecond, func() { fmt.Println("second at", eng.Now()) })
+	eng.Schedule(1*sim.Millisecond, func() {
+		fmt.Println("first at", eng.Now())
+		eng.Schedule(500*sim.Microsecond, func() { fmt.Println("nested at", eng.Now()) })
+	})
+	eng.Run(10 * sim.Millisecond)
+	// Output:
+	// first at 1ms
+	// nested at 1.5ms
+	// second at 2ms
+}
+
+// Forked RNG streams are independent and reproducible by (seed, name).
+func ExampleRNG_Fork() {
+	a := sim.NewRNG(7).Fork("workload")
+	b := sim.NewRNG(7).Fork("workload")
+	fmt.Println(a.Intn(1000) == b.Intn(1000))
+	// Output:
+	// true
+}

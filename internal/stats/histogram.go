@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Histogram is a logarithmically bucketed histogram for positive values
+// (latencies, sizes): each bucket spans a fixed multiplicative factor.
+type Histogram struct {
+	// Base is the lower bound of the first bucket and Factor the growth
+	// per bucket; values below Base land in bucket 0, values above the last
+	// bucket extend the histogram.
+	Base   float64
+	Factor float64
+
+	counts []int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with the given first-bucket lower bound
+// and per-bucket growth factor (> 1).
+func NewHistogram(base, factor float64) *Histogram {
+	if base <= 0 {
+		base = 1e-6
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	return &Histogram{Base: base, Factor: factor}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	idx := 0
+	if v > h.Base {
+		idx = int(math.Ceil(math.Log(v/h.Base) / math.Log(h.Factor)))
+	}
+	for idx >= len(h.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[idx]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Buckets returns (upper bound, count) pairs for non-empty tail-trimmed
+// buckets.
+func (h *Histogram) Buckets() ([]float64, []int64) {
+	ups := make([]float64, len(h.counts))
+	for i := range h.counts {
+		ups[i] = h.Base * math.Pow(h.Factor, float64(i))
+	}
+	return ups, append([]int64(nil), h.counts...)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) from the
+// bucket boundaries.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return h.Base * math.Pow(h.Factor, float64(i))
+		}
+	}
+	return h.Base * math.Pow(h.Factor, float64(len(h.counts)-1))
+}
+
+// Render writes an ASCII bar chart of the histogram, scaled to width.
+func (h *Histogram) Render(w io.Writer, unit string, width int) {
+	if width <= 0 {
+		width = 40
+	}
+	ups, counts := h.Buckets()
+	var max int64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		fmt.Fprintln(w, "(empty histogram)")
+		return
+	}
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", int(float64(c)/float64(max)*float64(width))+1)
+		fmt.Fprintf(w, "%12.3g %-4s %6d %s\n", ups[i], unit, c, bar)
+	}
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 10)
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Add(v)
+	}
+	ups, counts := h.Buckets()
+	// Buckets: <=1, <=10, <=100, <=1000.
+	if len(counts) < 4 {
+		t.Fatalf("buckets = %d", len(counts))
+	}
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 1 || counts[3] != 1 {
+		t.Fatalf("counts = %v (ups %v)", counts, ups)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 2)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i + 1))
+	}
+	// The 100th value (100) lands in the bucket with upper bound 128.
+	if q := h.Quantile(1.0); q != 128 {
+		t.Fatalf("p100 = %v", q)
+	}
+	if q := h.Quantile(0.5); q > 64 || q < 32 {
+		t.Fatalf("p50 = %v", q)
+	}
+	var empty Histogram
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0.001, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(0.01)
+	}
+	h.Add(1)
+	var sb strings.Builder
+	h.Render(&sb, "ms", 20)
+	out := sb.String()
+	if !strings.Contains(out, "#") || len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Fatalf("render output:\n%s", out)
+	}
+	var e Histogram
+	sb.Reset()
+	e.Render(&sb, "ms", 0)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Fatal("empty render missing placeholder")
+	}
+}
+
+func TestHistogramDegenerateParams(t *testing.T) {
+	h := NewHistogram(-1, 0.5)
+	h.Add(1)
+	if h.Base <= 0 || h.Factor <= 1 {
+		t.Fatal("degenerate params not corrected")
+	}
+}
+
+// Property: quantile bound is conservative — at least q of the mass lies at
+// or below it — and total matches the adds.
+func TestHistogramQuantileProperty(t *testing.T) {
+	f := func(raw []uint32, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(1, 2)
+		for _, r := range raw {
+			h.Add(float64(r%100_000) + 0.5)
+		}
+		q := float64(qRaw%101) / 100
+		bound := h.Quantile(q)
+		var below int64
+		for _, r := range raw {
+			if float64(r%100_000)+0.5 <= bound {
+				below++
+			}
+		}
+		return float64(below) >= q*float64(len(raw))-1e-9 && h.Total() == int64(len(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package tcp implements a packet-level TCP for the simulated fabric:
+// NewReno loss recovery (slow start, congestion avoidance, duplicate-ACK
+// fast retransmit, fast recovery with partial-ACK retransmission, RTO with a
+// 10 ms floor) with DCTCP congestion control on top (per-packet ECN echo,
+// marked-fraction EWMA with g = 1/16, proportional window reduction), which
+// is the base stack used for every scheme in the paper's evaluation (§4.2).
+//
+// A flow optionally carries a FlowBender controller (internal/core): the
+// sender reports every ACK's ECN echo and every RTT epoch to it, stamps its
+// path tag V into all outgoing packets, and notifies it on RTOs — this is
+// the entirety of the "less than 50 lines of kernel code" host change the
+// paper describes.
+package tcp
+
+import (
+	"flowbender/internal/core"
+	"flowbender/internal/sim"
+)
+
+// Config holds the transport parameters shared by the flows of a run.
+type Config struct {
+	// MSS is the maximum segment (payload) size in bytes. Default 1460.
+	MSS int
+	// InitCwnd is the initial congestion window in segments. Default 10.
+	InitCwnd int
+	// RTOMin is the minimum retransmission timeout. Default 10 ms (§4.2).
+	RTOMin sim.Time
+	// RTOMax caps exponential backoff. Default 1 s.
+	RTOMax sim.Time
+	// DupThresh is the duplicate-ACK fast-retransmit threshold. Default 3.
+	// DeTail runs with fast retransmit disabled (set DisableFastRetx), per
+	// the paper.
+	DupThresh int
+	// DisableFastRetx turns off duplicate-ACK retransmission entirely.
+	DisableFastRetx bool
+	// MaxCwnd caps the congestion window in bytes, modeling the bounds real
+	// stacks impose (receive-window auto-tuning, TCP small queues): without
+	// it, a NIC-bottlenecked flow sees neither marks nor drops and slow
+	// start would grow the window to the whole flow size, making later
+	// congestion reactions arbitrarily sluggish. Default 224 KB (~2x the
+	// fabric's 112 KB bandwidth-delay product).
+	MaxCwnd int
+	// DCTCPg is the marked-fraction EWMA gain. Default 1/16.
+	DCTCPg float64
+	// DelayedAckCount is the receiver's ACK coalescing factor m: one ACK
+	// per m in-order data packets, with DCTCP's two-state ECE machine
+	// (RFC 3168 + DCTCP §3.2) emitting an immediate ACK whenever the CE
+	// state of arriving packets flips, so the sender's marked-byte estimate
+	// stays exact. Out-of-order arrivals are always ACKed immediately.
+	// Default 1 (per-packet ACKs, the configuration used for the paper's
+	// headline results); set 2 for the stock Linux behaviour.
+	DelayedAckCount int
+	// DelayedAckTimeout flushes a pending coalesced ACK at this deadline.
+	// Default 500 us.
+	DelayedAckTimeout sim.Time
+	// DisableDCTCP falls back to plain NewReno+ECN halving (not used by the
+	// paper's evaluation, available for ablation).
+	DisableDCTCP bool
+	// Handshake, when true, models connection establishment: the sender
+	// transmits data only after a SYN/SYN-ACK exchange (one extra RTT per
+	// flow, retried on RTO if lost). Off by default — the paper's
+	// evaluation measures data-transfer latency on pre-established
+	// connections, and "datacenter operators run the transport they
+	// desire" (§3.3.1 footnote).
+	Handshake bool
+	// FlowBender, when non-nil, attaches a FlowBender controller with this
+	// configuration to every flow.
+	FlowBender *core.Config
+	// FilterStaleFeedback excludes ACKs that echo a previous path tag from
+	// FlowBender's marked-fraction accounting, so the one RTT of feedback
+	// still in flight from the old path cannot trigger an immediate second
+	// reroute. On by default via DefaultConfig; disable for ablation.
+	FilterStaleFeedback bool
+}
+
+// DefaultConfig returns the paper's §4.2 transport settings.
+func DefaultConfig() Config {
+	c := Config{FilterStaleFeedback: true}
+	return c.withDefaults()
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.InitCwnd == 0 {
+		c.InitCwnd = 10
+	}
+	if c.RTOMin == 0 {
+		c.RTOMin = 10 * sim.Millisecond
+	}
+	if c.RTOMax == 0 {
+		c.RTOMax = 1 * sim.Second
+	}
+	if c.DupThresh == 0 {
+		c.DupThresh = 3
+	}
+	if c.MaxCwnd == 0 {
+		c.MaxCwnd = 224 * 1024
+	}
+	if c.DCTCPg == 0 {
+		c.DCTCPg = 1.0 / 16.0
+	}
+	if c.DelayedAckCount == 0 {
+		c.DelayedAckCount = 1
+	}
+	if c.DelayedAckTimeout == 0 {
+		c.DelayedAckTimeout = 500 * sim.Microsecond
+	}
+	return c
+}

@@ -1,0 +1,141 @@
+package tcp
+
+import (
+	"testing"
+
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+)
+
+func delackHarness(t *testing.T, m int) *receiverHarness {
+	t.Helper()
+	h := newReceiverHarness(t, 1_000_000)
+	cfg := DefaultConfig()
+	cfg.DelayedAckCount = m
+	h.r.cfg = cfg
+	return h
+}
+
+// deliverNoIdle hands a packet to the receiver and advances virtual time by
+// only 10 us, so a pending delayed-ACK timer (500 us) does not fire.
+func (h *receiverHarness) deliverNoIdle(seq int64, payload int, ce bool) {
+	pkt := &netsim.Packet{
+		Flow: 9, Src: 0, Dst: 1, Proto: netsim.ProtoTCP, Kind: netsim.KindData,
+		Seq: seq, Payload: payload, Size: payload + netsim.HeaderBytes,
+		ECT: true, CE: ce, SentAt: h.eng.Now(), EchoTS: -1,
+	}
+	h.r.Deliver(pkt)
+	h.eng.Run(h.eng.Now() + 10*sim.Microsecond)
+}
+
+func TestDelayedAckCoalesces(t *testing.T) {
+	h := delackHarness(t, 2)
+	h.deliverNoIdle(0, 1000, false)
+	if len(h.acks) != 0 {
+		t.Fatal("first in-order packet acked immediately under m=2")
+	}
+	h.deliverNoIdle(1000, 1000, false)
+	if len(h.acks) != 1 {
+		t.Fatalf("second packet should flush: %d acks", len(h.acks))
+	}
+	if got := h.lastAck(t).Seq; got != 2000 {
+		t.Fatalf("coalesced ack = %d, want 2000", got)
+	}
+}
+
+func TestDelayedAckTimerFlush(t *testing.T) {
+	h := delackHarness(t, 4)
+	h.deliverNoIdle(0, 1000, false)
+	if len(h.acks) != 0 {
+		t.Fatal("acked before timer")
+	}
+	h.eng.Run(h.eng.Now() + sim.Millisecond)
+	if len(h.acks) != 1 {
+		t.Fatalf("delack timer did not flush: %d acks", len(h.acks))
+	}
+	if h.lastAck(t).Seq != 1000 {
+		t.Fatal("timer flush acked wrong seq")
+	}
+}
+
+func TestDelayedAckCEFlipFlushesOldState(t *testing.T) {
+	h := delackHarness(t, 10)
+	h.deliverNoIdle(0, 1000, false)
+	h.deliverNoIdle(1000, 1000, false)
+	// CE flips: the pending ACK must flush with ECE = old state (false),
+	// covering only the first two packets.
+	h.deliverNoIdle(2000, 1000, true)
+	if len(h.acks) != 1 {
+		t.Fatalf("CE flip did not flush (acks=%d)", len(h.acks))
+	}
+	first := h.acks[0]
+	if first.ECE || first.Seq != 2000 {
+		t.Fatalf("flush ack wrong: ECE=%v seq=%d (want ECE=false seq=2000)", first.ECE, first.Seq)
+	}
+	// Flip back: the marked packet's ACK flushes with ECE = true.
+	h.deliverNoIdle(3000, 1000, false)
+	second := h.acks[1]
+	if !second.ECE || second.Seq != 3000 {
+		t.Fatalf("second flush wrong: ECE=%v seq=%d", second.ECE, second.Seq)
+	}
+	if h.r.FlushedByCE != 2 {
+		t.Fatalf("FlushedByCE = %d", h.r.FlushedByCE)
+	}
+}
+
+func TestDelayedAckImmediateOnOutOfOrder(t *testing.T) {
+	h := delackHarness(t, 10)
+	h.deliverNoIdle(0, 1000, false)
+	h.deliverNoIdle(2000, 1000, false) // gap: must ACK now
+	if len(h.acks) == 0 {
+		t.Fatal("out-of-order arrival not acked immediately")
+	}
+}
+
+func TestDelayedAckExactMarkAccounting(t *testing.T) {
+	// End-to-end: with m=2 and a marking stretch, the sender's alpha must
+	// track the true marked fraction, thanks to the CE state machine.
+	eng := sim.NewEngine()
+	a, b, tm := pipe(eng)
+	marked, total := 0, 0
+	tm.seen = func(pkt *netsim.Packet) {
+		if pkt.Kind == netsim.KindData {
+			total++
+			if total%3 == 0 { // mark every 3rd packet: true fraction 1/3
+				pkt.CE = true
+				marked++
+			}
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.DelayedAckCount = 2
+	f := StartFlow(eng, cfg, 1, a, b, 3_000_000)
+	eng.Run(10 * sim.Second)
+	if !f.Done() {
+		t.Fatal("flow incomplete")
+	}
+	got := f.Sender().Alpha()
+	want := float64(marked) / float64(total)
+	if got < want-0.12 || got > want+0.12 {
+		t.Fatalf("alpha = %.3f, true marked fraction %.3f", got, want)
+	}
+	// Coalescing really happened: fewer ACKs than data packets.
+	if f.Receiver().AcksSent >= f.Receiver().DataPackets {
+		t.Fatal("no coalescing under m=2")
+	}
+}
+
+func TestDelayedAckTransferCompletes(t *testing.T) {
+	eng := sim.NewEngine()
+	a, b, _ := pipe(eng)
+	cfg := DefaultConfig()
+	cfg.DelayedAckCount = 2
+	f := StartFlow(eng, cfg, 1, a, b, 1_000_000)
+	eng.Run(sim.Second)
+	if !f.Done() {
+		t.Fatal("flow incomplete with delayed ACKs")
+	}
+	if f.Sender().Retransmits != 0 {
+		t.Fatalf("spurious retransmissions under delayed ACKs: %d", f.Sender().Retransmits)
+	}
+}

@@ -1,0 +1,80 @@
+package tcp
+
+import (
+	"flowbender/internal/core"
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+)
+
+// Flow is one finite TCP transfer and its measured outcome.
+type Flow struct {
+	ID   netsim.FlowID
+	Src  *netsim.Host
+	Dst  *netsim.Host
+	Size int64 // payload bytes to transfer
+
+	Start    sim.Time // when the sender was started
+	RecvDone sim.Time // when the last payload byte arrived in order (-1 until then)
+	SendDone sim.Time // when the sender saw everything acked (-1 until then)
+
+	// OnComplete, if set, runs when the receiver has the full payload.
+	OnComplete func(f *Flow)
+
+	sender   *Sender
+	receiver *Receiver
+}
+
+// FCT returns the receiver-side flow completion time. It panics if the flow
+// has not completed (call after the run, or from OnComplete).
+func (f *Flow) FCT() sim.Time {
+	if f.RecvDone < 0 {
+		panic("tcp: FCT of incomplete flow")
+	}
+	return f.RecvDone - f.Start
+}
+
+// Done reports whether the receiver has the full payload.
+func (f *Flow) Done() bool { return f.RecvDone >= 0 }
+
+// Sender returns the flow's sender endpoint.
+func (f *Flow) Sender() *Sender { return f.sender }
+
+// Receiver returns the flow's receiver endpoint.
+func (f *Flow) Receiver() *Receiver { return f.receiver }
+
+// OutOfOrder returns the number of data packets that arrived after a
+// higher-sequence packet had already been seen.
+func (f *Flow) OutOfOrder() int64 { return f.receiver.OutOfOrder }
+
+// DataPackets returns the number of data packets received (including
+// retransmissions).
+func (f *Flow) DataPackets() int64 { return f.receiver.DataPackets }
+
+// FlowBenderStats returns the attached controller's counters, or a zero
+// value when the flow runs without FlowBender.
+func (f *Flow) FlowBenderStats() core.Stats {
+	if f.sender.fb == nil {
+		return core.Stats{}
+	}
+	return f.sender.fb.Stats()
+}
+
+// StartFlow creates a sender on src and a receiver on dst for size payload
+// bytes and begins transmitting immediately. Port numbers are derived from
+// the flow ID to give the ECMP hash its 5-tuple entropy.
+func StartFlow(eng *sim.Engine, cfg Config, id netsim.FlowID, src, dst *netsim.Host, size int64) *Flow {
+	cfg = cfg.withDefaults()
+	f := &Flow{
+		ID: id, Src: src, Dst: dst, Size: size,
+		Start: eng.Now(), RecvDone: -1, SendDone: -1,
+	}
+	srcPort := uint16(10000 + (uint64(id)*2654435761)%50000)
+	dstPort := uint16(5001)
+
+	f.receiver = newReceiver(eng, cfg, f, dstPort, srcPort)
+	f.sender = newSender(eng, cfg, f, srcPort, dstPort)
+	dst.Register(id, f.receiver)
+	src.Register(id, f.sender)
+	f.sender.start()
+	return f
+}

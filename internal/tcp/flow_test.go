@@ -1,0 +1,91 @@
+package tcp
+
+import (
+	"testing"
+
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+)
+
+func TestFCTPanicsWhenIncomplete(t *testing.T) {
+	f := &Flow{RecvDone: -1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FCT on an incomplete flow did not panic")
+		}
+	}()
+	_ = f.FCT()
+}
+
+func TestFlowAccessors(t *testing.T) {
+	eng := sim.NewEngine()
+	a, b, _ := pipe(eng)
+	f := StartFlow(eng, DefaultConfig(), 42, a, b, 10_000)
+	if f.Sender() == nil || f.Receiver() == nil {
+		t.Fatal("endpoints missing")
+	}
+	if f.Done() {
+		t.Fatal("done before running")
+	}
+	eng.Run(sim.Second)
+	if !f.Done() {
+		t.Fatal("flow incomplete")
+	}
+	if f.FCT() <= 0 {
+		t.Fatal("non-positive FCT")
+	}
+	if f.DataPackets() == 0 {
+		t.Fatal("no data packets recorded")
+	}
+	// No FlowBender attached: stats are zero.
+	if st := f.FlowBenderStats(); st.Reroutes != 0 || st.Epochs != 0 {
+		t.Fatalf("phantom FlowBender stats: %+v", st)
+	}
+}
+
+func TestOnCompleteCallback(t *testing.T) {
+	eng := sim.NewEngine()
+	a, b, _ := pipe(eng)
+	f := StartFlow(eng, DefaultConfig(), 1, a, b, 10_000)
+	var at sim.Time = -1
+	f.OnComplete = func(fl *Flow) { at = eng.Now() }
+	eng.Run(sim.Second)
+	if at < 0 {
+		t.Fatal("OnComplete never fired")
+	}
+	if at != f.RecvDone {
+		t.Fatalf("OnComplete at %v, RecvDone %v", at, f.RecvDone)
+	}
+}
+
+func TestPortDerivation(t *testing.T) {
+	// Distinct flow IDs must get distinct source ports (hash entropy).
+	eng := sim.NewEngine()
+	a, b, _ := pipe(eng)
+	seen := map[uint16]bool{}
+	dups := 0
+	for i := 1; i <= 200; i++ {
+		f := StartFlow(eng, DefaultConfig(), netsim.FlowID(i), a, b, 100)
+		p := f.sender.srcPort
+		if seen[p] {
+			dups++
+		}
+		seen[p] = true
+		a.Unregister(f.ID)
+		b.Unregister(f.ID)
+	}
+	if dups > 4 {
+		t.Fatalf("%d duplicate source ports in 200 flows", dups)
+	}
+}
+
+func TestZeroByteFlowCompletesImmediately(t *testing.T) {
+	eng := sim.NewEngine()
+	a, b, _ := pipe(eng)
+	f := StartFlow(eng, DefaultConfig(), 1, a, b, 0)
+	eng.Run(sim.Millisecond)
+	// A zero-byte flow has nothing to deliver; the sender is trivially done.
+	if f.SendDone >= 0 && f.Sender().Retransmits > 0 {
+		t.Fatal("zero-byte flow retransmitted")
+	}
+}

@@ -1,0 +1,107 @@
+package tcp
+
+import (
+	"testing"
+
+	"flowbender/internal/core"
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+)
+
+func TestHandshakeAddsOneRTT(t *testing.T) {
+	// With symmetric 10 us one-way host delays, the handshake costs one RTT
+	// before the first data byte moves.
+	fctFor := func(handshake bool) sim.Time {
+		eng := sim.NewEngine()
+		const rate = 10_000_000_000
+		a := netsim.NewHost(eng, 0, rate, 10*sim.Microsecond)
+		b := netsim.NewHost(eng, 1, rate, 10*sim.Microsecond)
+		tm := &tamper{eng: eng, a: a, b: b}
+		a.NIC.Link = netsim.Link{To: tm}
+		b.NIC.Link = netsim.Link{To: tm}
+		cfg := DefaultConfig()
+		cfg.Handshake = handshake
+		f := StartFlow(eng, cfg, 1, a, b, 100_000)
+		eng.Run(sim.Second)
+		if !f.Done() {
+			t.Fatalf("flow incomplete (handshake=%v)", handshake)
+		}
+		return f.FCT()
+	}
+	without := fctFor(false)
+	with := fctFor(true)
+	delta := with - without
+	// One RTT = 2 * (10+10) us = 40 us plus a little serialization.
+	if delta < 35*sim.Microsecond || delta > 100*sim.Microsecond {
+		t.Fatalf("handshake cost %v, want ~1 RTT (40 us)", delta)
+	}
+}
+
+func TestHandshakeSynLossRetries(t *testing.T) {
+	eng := sim.NewEngine()
+	a, b, tm := pipe(eng)
+	dropped := 0
+	tm.drop = func(pkt *netsim.Packet) bool {
+		if pkt.Kind == netsim.KindSyn && dropped < 2 {
+			dropped++
+			return true
+		}
+		return false
+	}
+	cfg := DefaultConfig()
+	cfg.Handshake = true
+	f := StartFlow(eng, cfg, 1, a, b, 50_000)
+	eng.Run(sim.Second)
+	if !f.Done() {
+		t.Fatal("flow incomplete after SYN losses")
+	}
+	if f.Sender().SynRetries != 2 {
+		t.Fatalf("SynRetries = %d, want 2", f.Sender().SynRetries)
+	}
+	// Two RTO-paced retries: completion takes at least 10+20 ms of backoff.
+	if f.FCT() < 30*sim.Millisecond {
+		t.Fatalf("FCT %v too fast for two SYN RTOs", f.FCT())
+	}
+}
+
+func TestHandshakeSynLossReroutesFlowBender(t *testing.T) {
+	eng := sim.NewEngine()
+	a, b, tm := pipe(eng)
+	dropOne := true
+	tm.drop = func(pkt *netsim.Packet) bool {
+		if pkt.Kind == netsim.KindSyn && dropOne {
+			dropOne = false
+			return true
+		}
+		return false
+	}
+	cfg := DefaultConfig()
+	cfg.Handshake = true
+	cfg.FlowBender = &core.Config{}
+	f := StartFlow(eng, cfg, 1, a, b, 50_000)
+	eng.Run(sim.Second)
+	if !f.Done() {
+		t.Fatal("flow incomplete")
+	}
+	if got := f.FlowBenderStats().TimeoutReroutes; got != 1 {
+		t.Fatalf("SYN loss should re-draw V once: %d", got)
+	}
+}
+
+func TestHandshakeDuplicateSynAckHarmless(t *testing.T) {
+	eng := sim.NewEngine()
+	a, b, _ := pipe(eng)
+	cfg := DefaultConfig()
+	cfg.Handshake = true
+	f := StartFlow(eng, cfg, 1, a, b, 50_000)
+	eng.Run(10 * sim.Millisecond)
+	if !f.Done() {
+		t.Fatal("flow incomplete")
+	}
+	// Replay a SYN-ACK after completion: must be ignored.
+	f.Sender().Deliver(&netsim.Packet{Kind: netsim.KindSynAck, EchoTS: -1})
+	eng.RunUntilIdle()
+	if f.Sender().Retransmits != 0 {
+		t.Fatal("stale SYN-ACK disturbed the sender")
+	}
+}

@@ -1,0 +1,283 @@
+package tcp
+
+import (
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+)
+
+// Receiver is the data sink of a flow. It reassembles the byte stream,
+// acknowledges data per the configured delayed-ACK policy, and accounts
+// out-of-order arrivals.
+//
+// With DelayedAckCount = 1 (the default) every data packet is ACKed
+// immediately and each ACK's ECE echoes that packet's CE bit exactly. With
+// m > 1 the receiver coalesces in-order arrivals but runs DCTCP's two-state
+// ECE machine: a change in the arriving CE state immediately flushes the
+// pending ACK with the old state, so the sender's marked-byte accounting
+// stays exact (DCTCP §3.2). Out-of-order data, duplicates, and
+// retransmissions always trigger an immediate ACK (they carry loss-recovery
+// signals the sender needs now).
+type Receiver struct {
+	eng  *sim.Engine
+	cfg  Config
+	flow *Flow
+
+	srcPort, dstPort uint16 // for ACKs (receiver -> sender direction)
+
+	rcvNxt     int64
+	maxSeqSeen int64
+	sacked     intervalSet
+
+	// Delayed-ACK state.
+	ceState     bool   // CE bit of the most recent data packet
+	lastTag     uint32 // path tag of the most recent data packet (echoed)
+	pending     int    // in-order packets not yet acknowledged
+	pendingEcho sim.Time
+	ackTimer    *sim.Event
+
+	// Counters.
+	DataPackets int64
+	OutOfOrder  int64
+	DupData     int64 // data entirely below rcvNxt (spurious retransmissions)
+	AcksSent    int64
+	MarkedData  int64 // CE-marked data packets received
+	FlushedByCE int64 // pending ACKs flushed by a CE state change
+}
+
+func newReceiver(eng *sim.Engine, cfg Config, flow *Flow, srcPort, dstPort uint16) *Receiver {
+	return &Receiver{
+		eng: eng, cfg: cfg, flow: flow,
+		srcPort: srcPort, dstPort: dstPort,
+		maxSeqSeen: -1, pendingEcho: -1,
+	}
+}
+
+// Deliver implements netsim.Handler for the receiving host.
+func (r *Receiver) Deliver(pkt *netsim.Packet) {
+	if pkt.Kind == netsim.KindSyn {
+		r.flow.Dst.Send(&netsim.Packet{
+			Flow: r.flow.ID, Src: r.flow.Dst.ID(), Dst: r.flow.Src.ID(),
+			SrcPort: r.srcPort, DstPort: r.dstPort,
+			Proto: netsim.ProtoTCP, Kind: netsim.KindSynAck,
+			PathTag: pkt.PathTag, Size: netsim.HeaderBytes,
+			ECT: true, SentAt: r.eng.Now(), EchoTS: pkt.SentAt,
+		})
+		return
+	}
+	if pkt.Kind != netsim.KindData {
+		return
+	}
+	r.DataPackets++
+	if pkt.CE {
+		r.MarkedData++
+	}
+
+	// DCTCP ECE state machine: a CE transition flushes the coalesced ACK
+	// under the old state before this packet is incorporated.
+	if pkt.CE != r.ceState && r.pending > 0 {
+		r.FlushedByCE++
+		r.flushAck(false, 0)
+	}
+	r.ceState = pkt.CE
+	r.lastTag = pkt.PathTag
+
+	// Out-of-order accounting (§4.2.3): an original (non-retransmitted)
+	// packet arriving below the highest sequence already seen was passed in
+	// flight — the reordering that path changes and packet spraying cause.
+	var reorderDist int64
+	if pkt.Seq < r.maxSeqSeen && !pkt.Retx {
+		r.OutOfOrder++
+		reorderDist = r.maxSeqSeen - pkt.Seq
+	}
+	if pkt.Seq > r.maxSeqSeen {
+		r.maxSeqSeen = pkt.Seq
+	}
+
+	end := pkt.Seq + int64(pkt.Payload)
+	dup := false
+	switch {
+	case end <= r.rcvNxt:
+		r.DupData++
+		dup = true
+	case pkt.Seq <= r.rcvNxt:
+		r.rcvNxt = end
+		r.rcvNxt = r.sacked.consume(r.rcvNxt)
+	case r.sacked.covered(pkt.Seq, end):
+		r.DupData++
+		dup = true
+	default:
+		r.sacked.add(pkt.Seq, end)
+	}
+
+	done := r.rcvNxt >= r.flow.Size && r.flow.RecvDone < 0
+	if done {
+		r.flow.RecvDone = r.eng.Now()
+		if r.flow.OnComplete != nil {
+			r.flow.OnComplete(r.flow)
+		}
+	}
+
+	// Fold this packet into the pending-ACK state. Karn's rule: only
+	// original segments contribute an RTT timestamp, and a coalesced ACK
+	// echoes its earliest unacked one.
+	r.pending++
+	if r.pendingEcho < 0 && !pkt.Retx {
+		r.pendingEcho = pkt.SentAt
+	}
+
+	immediate := dup || reorderDist > 0 || pkt.Retx || r.sacked.Len() > 0 ||
+		done || r.pending >= r.cfg.DelayedAckCount
+	if immediate {
+		r.flushAck(dup, reorderDist)
+		return
+	}
+	if r.ackTimer == nil || r.ackTimer.Fired() || r.ackTimer.Cancelled() {
+		r.ackTimer = r.eng.Schedule(r.cfg.DelayedAckTimeout, func() {
+			if r.pending > 0 {
+				r.flushAck(false, 0)
+			}
+		})
+	}
+}
+
+// flushAck emits the cumulative acknowledgment covering all pending data.
+func (r *Receiver) flushAck(dsack bool, reorderDist int64) {
+	ack := &netsim.Packet{
+		Flow:        r.flow.ID,
+		Src:         r.flow.Dst.ID(),
+		Dst:         r.flow.Src.ID(),
+		SrcPort:     r.srcPort,
+		DstPort:     r.dstPort,
+		Proto:       netsim.ProtoTCP,
+		Kind:        netsim.KindAck,
+		Seq:         r.rcvNxt,
+		Size:        netsim.HeaderBytes,
+		ECT:         true,
+		ECE:         r.ceState,
+		SentAt:      r.eng.Now(),
+		EchoTS:      r.pendingEcho,
+		Sacks:       r.sacked.blocks(maxSackBlocks),
+		DSACK:       dsack,
+		ReorderDist: reorderDist,
+		PathTag:     r.lastTag,
+	}
+	r.pending = 0
+	r.pendingEcho = -1
+	if r.ackTimer != nil {
+		r.eng.Cancel(r.ackTimer)
+		r.ackTimer = nil
+	}
+	r.AcksSent++
+	r.flow.Dst.Send(ack)
+}
+
+// intervalSet is a small sorted set of disjoint [start, end) byte ranges
+// buffered above the in-order point.
+type intervalSet struct {
+	iv []ivl
+}
+
+type ivl struct{ s, e int64 }
+
+// add inserts [s, e) and merges overlaps.
+func (x *intervalSet) add(s, e int64) {
+	if s >= e {
+		return
+	}
+	// Find insertion point (sorted by start).
+	i := 0
+	for i < len(x.iv) && x.iv[i].s < s {
+		i++
+	}
+	x.iv = append(x.iv, ivl{})
+	copy(x.iv[i+1:], x.iv[i:])
+	x.iv[i] = ivl{s, e}
+	// Merge around i.
+	j := i
+	if j > 0 && x.iv[j-1].e >= x.iv[j].s {
+		j--
+	}
+	for j+1 < len(x.iv) && x.iv[j].e >= x.iv[j+1].s {
+		if x.iv[j+1].e > x.iv[j].e {
+			x.iv[j].e = x.iv[j+1].e
+		}
+		x.iv = append(x.iv[:j+1], x.iv[j+2:]...)
+	}
+}
+
+// consume advances next through any buffered interval that now abuts it and
+// returns the new in-order point.
+func (x *intervalSet) consume(next int64) int64 {
+	for len(x.iv) > 0 && x.iv[0].s <= next {
+		if x.iv[0].e > next {
+			next = x.iv[0].e
+		}
+		x.iv = x.iv[1:]
+	}
+	return next
+}
+
+// Len returns the number of disjoint buffered ranges.
+func (x *intervalSet) Len() int { return len(x.iv) }
+
+// maxSackBlocks bounds the SACK option size, as the TCP option space does.
+const maxSackBlocks = 4
+
+// blocks returns up to max buffered ranges as SACK blocks, nearest the
+// cumulative ACK point first.
+func (x *intervalSet) blocks(max int) []netsim.SackBlock {
+	n := len(x.iv)
+	if n == 0 {
+		return nil
+	}
+	if n > max {
+		n = max
+	}
+	out := make([]netsim.SackBlock, n)
+	for i := 0; i < n; i++ {
+		out[i] = netsim.SackBlock{Start: x.iv[i].s, End: x.iv[i].e}
+	}
+	return out
+}
+
+// covered returns whether [s, e) lies entirely inside one buffered range.
+func (x *intervalSet) covered(s, e int64) bool {
+	for _, r := range x.iv {
+		if r.s <= s && e <= r.e {
+			return true
+		}
+		if r.s > s {
+			break
+		}
+	}
+	return false
+}
+
+// bytesAbove returns how many buffered bytes lie at or above seq.
+func (x *intervalSet) bytesAbove(seq int64) int64 {
+	var n int64
+	for _, r := range x.iv {
+		if r.e <= seq {
+			continue
+		}
+		s := r.s
+		if s < seq {
+			s = seq
+		}
+		n += r.e - s
+	}
+	return n
+}
+
+// nextUncovered returns the first byte >= seq not inside a buffered range.
+func (x *intervalSet) nextUncovered(seq int64) int64 {
+	for _, r := range x.iv {
+		if seq < r.s {
+			return seq
+		}
+		if seq < r.e {
+			seq = r.e
+		}
+	}
+	return seq
+}

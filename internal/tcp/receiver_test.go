@@ -1,0 +1,180 @@
+package tcp
+
+import (
+	"testing"
+
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+)
+
+// receiverHarness wires a Receiver to a capture of the ACKs it emits.
+type receiverHarness struct {
+	eng  *sim.Engine
+	r    *Receiver
+	acks []*netsim.Packet
+}
+
+func newReceiverHarness(t *testing.T, size int64) *receiverHarness {
+	t.Helper()
+	eng := sim.NewEngine()
+	// Hosts wired to a capture device standing in for the network.
+	src := netsim.NewHost(eng, 0, 10_000_000_000, 0)
+	dst := netsim.NewHost(eng, 1, 10_000_000_000, 0)
+	h := &receiverHarness{eng: eng}
+	cap := captureDevice{sink: &h.acks}
+	dst.NIC.Link = netsim.Link{To: cap}
+	src.NIC.Link = netsim.Link{To: cap}
+	flow := &Flow{ID: 9, Src: src, Dst: dst, Size: size, RecvDone: -1, SendDone: -1}
+	h.r = newReceiver(eng, DefaultConfig(), flow, 5001, 10100)
+	return h
+}
+
+type captureDevice struct{ sink *[]*netsim.Packet }
+
+func (c captureDevice) ID() netsim.NodeID { return 77 }
+func (c captureDevice) Receive(pkt *netsim.Packet, _ int) {
+	*c.sink = append(*c.sink, pkt)
+}
+
+func (h *receiverHarness) deliver(seq int64, payload int, ce, retx bool, tag uint32) *netsim.Packet {
+	pkt := &netsim.Packet{
+		Flow: 9, Src: 0, Dst: 1, Proto: netsim.ProtoTCP, Kind: netsim.KindData,
+		Seq: seq, Payload: payload, Size: payload + netsim.HeaderBytes,
+		ECT: true, CE: ce, Retx: retx, PathTag: tag,
+		SentAt: h.eng.Now(), EchoTS: -1,
+	}
+	h.r.Deliver(pkt)
+	h.eng.RunUntilIdle()
+	return pkt
+}
+
+func (h *receiverHarness) lastAck(t *testing.T) *netsim.Packet {
+	t.Helper()
+	if len(h.acks) == 0 {
+		t.Fatal("no ACK emitted")
+	}
+	return h.acks[len(h.acks)-1]
+}
+
+func TestReceiverCumulativeAck(t *testing.T) {
+	h := newReceiverHarness(t, 10_000)
+	h.deliver(0, 1000, false, false, 3)
+	ack := h.lastAck(t)
+	if ack.Seq != 1000 || ack.Kind != netsim.KindAck {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if ack.Src != 1 || ack.Dst != 0 {
+		t.Fatal("ack direction wrong")
+	}
+	if ack.PathTag != 3 {
+		t.Fatal("ack must echo the data packet's path tag")
+	}
+}
+
+func TestReceiverEchoesCE(t *testing.T) {
+	h := newReceiverHarness(t, 10_000)
+	h.deliver(0, 1000, true, false, 0)
+	if !h.lastAck(t).ECE {
+		t.Fatal("CE not echoed as ECE")
+	}
+	h.deliver(1000, 1000, false, false, 0)
+	if h.lastAck(t).ECE {
+		t.Fatal("clean packet acked with ECE (per-packet echo broken)")
+	}
+}
+
+func TestReceiverHoleAndFill(t *testing.T) {
+	h := newReceiverHarness(t, 10_000)
+	h.deliver(0, 1000, false, false, 0)
+	h.deliver(2000, 1000, false, false, 0) // hole at [1000, 2000)
+	ack := h.lastAck(t)
+	if ack.Seq != 1000 {
+		t.Fatalf("dup-ack seq = %d, want 1000", ack.Seq)
+	}
+	if len(ack.Sacks) != 1 || ack.Sacks[0] != (netsim.SackBlock{Start: 2000, End: 3000}) {
+		t.Fatalf("sacks = %+v", ack.Sacks)
+	}
+	h.deliver(1000, 1000, false, true, 0) // fill
+	if got := h.lastAck(t).Seq; got != 3000 {
+		t.Fatalf("ack after fill = %d, want 3000", got)
+	}
+}
+
+func TestReceiverKarnEchoSuppression(t *testing.T) {
+	h := newReceiverHarness(t, 10_000)
+	h.deliver(0, 1000, false, true, 0) // retransmission
+	if h.lastAck(t).EchoTS != -1 {
+		t.Fatal("timestamp echoed for a retransmitted segment")
+	}
+	h.deliver(1000, 1000, false, false, 0)
+	if h.lastAck(t).EchoTS < 0 {
+		t.Fatal("timestamp missing for an original segment")
+	}
+}
+
+func TestReceiverDSACKOnDuplicate(t *testing.T) {
+	h := newReceiverHarness(t, 10_000)
+	h.deliver(0, 1000, false, false, 0)
+	if h.lastAck(t).DSACK {
+		t.Fatal("fresh data flagged DSACK")
+	}
+	h.deliver(0, 1000, false, true, 0) // full duplicate below rcvNxt
+	if !h.lastAck(t).DSACK {
+		t.Fatal("duplicate below rcvNxt not flagged DSACK")
+	}
+	// Duplicate of an out-of-order (SACKed) block.
+	h.deliver(5000, 1000, false, false, 0)
+	h.deliver(5000, 1000, false, true, 0)
+	if !h.lastAck(t).DSACK {
+		t.Fatal("duplicate of a SACKed block not flagged DSACK")
+	}
+	if h.r.DupData != 2 {
+		t.Fatalf("DupData = %d", h.r.DupData)
+	}
+}
+
+func TestReceiverReorderDistReported(t *testing.T) {
+	h := newReceiverHarness(t, 100_000)
+	h.deliver(0, 1000, false, false, 0)
+	h.deliver(10_000, 1000, false, false, 0)
+	// An original segment arriving 9000 bytes below the max seen.
+	h.deliver(1000, 1000, false, false, 0)
+	if got := h.lastAck(t).ReorderDist; got != 9000 {
+		t.Fatalf("ReorderDist = %d, want 9000", got)
+	}
+	if h.r.OutOfOrder != 1 {
+		t.Fatalf("OutOfOrder = %d", h.r.OutOfOrder)
+	}
+	// Retransmissions never count as reordering.
+	h.deliver(2000, 1000, false, true, 0)
+	if got := h.lastAck(t).ReorderDist; got != 0 {
+		t.Fatalf("retx reported reorder dist %d", got)
+	}
+	if h.r.OutOfOrder != 1 {
+		t.Fatal("retransmission counted as out-of-order")
+	}
+}
+
+func TestReceiverCompletion(t *testing.T) {
+	h := newReceiverHarness(t, 3000)
+	completed := false
+	h.r.flow.OnComplete = func(f *Flow) { completed = true }
+	h.deliver(0, 1000, false, false, 0)
+	h.deliver(1000, 1000, false, false, 0)
+	if completed || h.r.flow.Done() {
+		t.Fatal("completed early")
+	}
+	h.deliver(2000, 1000, false, false, 0)
+	if !completed || !h.r.flow.Done() {
+		t.Fatal("completion not detected")
+	}
+}
+
+func TestReceiverIgnoresAcks(t *testing.T) {
+	h := newReceiverHarness(t, 1000)
+	h.r.Deliver(&netsim.Packet{Kind: netsim.KindAck, Seq: 500})
+	h.eng.RunUntilIdle()
+	if len(h.acks) != 0 || h.r.DataPackets != 0 {
+		t.Fatal("receiver reacted to an ACK")
+	}
+}

@@ -1,0 +1,534 @@
+package tcp
+
+import (
+	"flowbender/internal/core"
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+)
+
+// Sender is the transmitting endpoint of a flow: NewReno loss recovery with
+// DCTCP congestion control, optionally steered by a FlowBender controller.
+type Sender struct {
+	eng  *sim.Engine
+	cfg  Config
+	flow *Flow
+	fb   *core.FlowBender
+
+	srcPort, dstPort uint16
+	mss              int64
+
+	// Window state (bytes).
+	cwnd     float64
+	ssthresh float64
+	sndUna   int64
+	sndNxt   int64
+	maxSent  int64 // highest byte ever transmitted (retransmission detection)
+
+	// Loss recovery (SACK-based fast recovery, RFC 6675 in spirit).
+	dupAcks      int
+	dynDupThresh int // adaptive reordering window in segments (Linux-style)
+	inRecovery   bool
+	recover      int64
+	retxNext     int64       // next candidate byte for hole retransmission
+	sacked       intervalSet // receiver-reported blocks above sndUna
+
+	// Spurious-retransmission undo (RFC 2883 DSACK, Linux-style): when every
+	// retransmission of a recovery episode turns out to be a duplicate, the
+	// window reduction is reverted. Reordering caused by a FlowBender path
+	// change routinely trips fast retransmit; without undo each reroute
+	// would permanently halve the window.
+	undoValid    bool
+	undoCwnd     float64
+	undoSsthresh float64
+	retxEpisode  int64
+	dsackEpisode int64
+
+	// RTT estimation / RTO (RFC 6298 shape).
+	srtt    sim.Time
+	rttvar  sim.Time
+	rto     sim.Time
+	backoff int
+	timer   *sim.Event
+
+	// DCTCP state. Alpha is estimated over BYTES acknowledged per RTT
+	// epoch, which stays exact under delayed ACKs because the receiver's
+	// ECE state machine guarantees each cumulative ACK's ECE applies to
+	// every byte it covers.
+	alpha       float64
+	ackedBytes  int64 // bytes acked this RTT epoch
+	markedBytes int64 // of which were acked with ECE set
+	epochEnd    int64 // sequence closing the current epoch
+	cwrEnd      int64 // one-reduction-per-window guard
+
+	// Handshake state (only used when cfg.Handshake is set).
+	established bool
+
+	// Counters.
+	Retransmits  int64
+	FastRetx     int64
+	Timeouts     int64
+	AcksReceived int64
+	SpuriousUndo int64
+	SynRetries   int64
+}
+
+func newSender(eng *sim.Engine, cfg Config, flow *Flow, srcPort, dstPort uint16) *Sender {
+	s := &Sender{
+		eng:     eng,
+		cfg:     cfg,
+		flow:    flow,
+		srcPort: srcPort,
+		dstPort: dstPort,
+		mss:     int64(cfg.MSS),
+	}
+	if cfg.FlowBender != nil {
+		s.fb = core.New(*cfg.FlowBender)
+	}
+	s.cwnd = float64(int64(cfg.InitCwnd) * s.mss)
+	s.ssthresh = 1 << 40 // effectively unbounded until first loss signal
+	s.rto = cfg.RTOMin
+	s.dynDupThresh = cfg.DupThresh
+	return s
+}
+
+func (s *Sender) start() {
+	s.epochEnd = 0
+	s.established = !s.cfg.Handshake
+	if !s.established {
+		s.sendSyn()
+		return
+	}
+	s.trySend()
+}
+
+// sendSyn (re)transmits the connection-opening segment and arms the RTO.
+func (s *Sender) sendSyn() {
+	syn := &netsim.Packet{
+		Flow: s.flow.ID, Src: s.flow.Src.ID(), Dst: s.flow.Dst.ID(),
+		SrcPort: s.srcPort, DstPort: s.dstPort,
+		Proto: netsim.ProtoTCP, Kind: netsim.KindSyn,
+		PathTag: s.PathTag(), Size: netsim.HeaderBytes,
+		ECT: true, SentAt: s.eng.Now(), EchoTS: -1,
+	}
+	s.flow.Src.Send(syn)
+	s.cancelTimer()
+	d := s.rto << s.backoff
+	if d > s.cfg.RTOMax {
+		d = s.cfg.RTOMax
+	}
+	s.timer = s.eng.Schedule(d, func() {
+		s.timer = nil
+		if s.established {
+			return
+		}
+		s.SynRetries++
+		if s.backoff < 16 {
+			s.backoff++
+		}
+		// A lost SYN is indistinguishable from a broken path: re-draw V,
+		// exactly as data RTOs do (§3.3.2).
+		if s.fb != nil {
+			s.fb.OnTimeout()
+		}
+		s.sendSyn()
+	})
+}
+
+// Cwnd returns the current congestion window in bytes.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// Alpha returns DCTCP's current marked-fraction estimate.
+func (s *Sender) Alpha() float64 { return s.alpha }
+
+// PathTag returns the current FlowBender tag (0 without FlowBender).
+func (s *Sender) PathTag() uint32 {
+	if s.fb == nil {
+		return 0
+	}
+	return s.fb.PathTag()
+}
+
+// trySend emits new segments while the window allows. When re-walking
+// previously sent data (after an RTO), SACKed ranges are skipped.
+func (s *Sender) trySend() {
+	if !s.established {
+		return
+	}
+	if max := float64(s.cfg.MaxCwnd); s.cwnd > max {
+		s.cwnd = max
+	}
+	for s.sndNxt < s.flow.Size && float64(s.sndNxt-s.sndUna) < s.cwnd {
+		if s.sndNxt < s.maxSent {
+			s.sndNxt = s.sacked.nextUncovered(s.sndNxt)
+			if s.sndNxt >= s.flow.Size {
+				break
+			}
+		}
+		n := s.mss
+		if rem := s.flow.Size - s.sndNxt; rem < n {
+			n = rem
+		}
+		s.emit(s.sndNxt, int(n), s.sndNxt < s.maxSent)
+		s.sndNxt += n
+		if s.sndNxt > s.maxSent {
+			s.maxSent = s.sndNxt
+		}
+	}
+	s.armTimer()
+}
+
+func (s *Sender) emit(seq int64, payload int, retx bool) {
+	pkt := &netsim.Packet{
+		Flow:    s.flow.ID,
+		Src:     s.flow.Src.ID(),
+		Dst:     s.flow.Dst.ID(),
+		SrcPort: s.srcPort,
+		DstPort: s.dstPort,
+		Proto:   netsim.ProtoTCP,
+		Kind:    netsim.KindData,
+		PathTag: s.PathTag(),
+		Seq:     seq,
+		Payload: payload,
+		Size:    payload + netsim.HeaderBytes,
+		ECT:     true,
+		Retx:    retx,
+		SentAt:  s.eng.Now(),
+		EchoTS:  -1,
+	}
+	if retx {
+		s.Retransmits++
+	}
+	s.flow.Src.Send(pkt)
+}
+
+// Deliver implements netsim.Handler for the sending host (ACK arrival).
+func (s *Sender) Deliver(pkt *netsim.Packet) {
+	if pkt.Kind == netsim.KindSynAck {
+		if !s.established {
+			s.established = true
+			s.backoff = 0
+			if pkt.EchoTS >= 0 {
+				s.sampleRTT(s.eng.Now() - pkt.EchoTS)
+			}
+			s.cancelTimer()
+			s.trySend()
+		}
+		return
+	}
+	if pkt.Kind != netsim.KindAck {
+		return
+	}
+	s.AcksReceived++
+	now := s.eng.Now()
+
+	// RTT sample (Karn-filtered by the receiver's echo suppression).
+	if pkt.EchoTS >= 0 {
+		s.sampleRTT(now - pkt.EchoTS)
+	}
+
+	// SACK scoreboard update.
+	for _, b := range pkt.Sacks {
+		if b.End > s.sndUna {
+			s.sacked.add(b.Start, b.End)
+		}
+	}
+	if pkt.DSACK {
+		s.dsackEpisode++
+		s.maybeUndo()
+	}
+	// Adaptive reordering window (Linux tcp_update_reordering): when the
+	// receiver observes an original segment arriving ReorderDist bytes below
+	// the highest sequence seen, the path reorders at least that deeply, so
+	// duplicate ACKs within that depth must not trigger fast retransmit.
+	// This is why the paper saw no difference between a reordering threshold
+	// of 3 and 30 on its Linux testbed: the stack adapts either way.
+	if pkt.ReorderDist > 0 {
+		nd := int(pkt.ReorderDist/s.mss) + 1
+		const maxReorder = 300 // Linux's cap
+		if nd > maxReorder {
+			nd = maxReorder
+		}
+		if nd > s.dynDupThresh {
+			s.dynDupThresh = nd
+		}
+	}
+
+	// FlowBender accounting. ACKs echo the path tag of the data packet that
+	// triggered them, so feedback generated on a path the flow has already
+	// left is excluded: right after a reroute one RTT of stale marks is
+	// still in flight, and counting it against the new path would trigger
+	// an immediate (futile) second reroute.
+	if s.fb != nil && (!s.cfg.FilterStaleFeedback || pkt.PathTag == s.fb.PathTag()) {
+		s.fb.OnAck(pkt.ECE)
+	}
+
+	ack := pkt.Seq
+	switch {
+	case ack > s.sndUna:
+		// DCTCP byte accounting: the ACK's ECE covers every newly acked byte.
+		newly := ack - s.sndUna
+		s.ackedBytes += newly
+		if pkt.ECE {
+			s.markedBytes += newly
+		}
+		s.onNewAck(ack, pkt.ECE)
+	case ack == s.sndUna && s.sndUna < s.sndNxt:
+		s.onDupAck()
+	}
+
+	// Close the RTT epoch once an epoch's worth of data is acknowledged.
+	if ack >= s.epochEnd {
+		s.closeEpoch()
+	}
+
+	// ECN reaction: at most one window reduction per RTT.
+	if pkt.ECE && ack > s.cwrEnd && !s.inRecovery {
+		s.ecnCut()
+	}
+
+	s.trySend()
+
+	if s.sndUna >= s.flow.Size && s.flow.SendDone < 0 {
+		s.flow.SendDone = now
+		s.cancelTimer()
+	}
+}
+
+func (s *Sender) onNewAck(ack int64, _ bool) {
+	newly := ack - s.sndUna
+	s.sndUna = ack
+	s.sacked.consume(s.sndUna)
+	s.backoff = 0
+
+	if s.inRecovery {
+		if ack >= s.recover {
+			// Full recovery: deflate to ssthresh.
+			s.inRecovery = false
+			s.dupAcks = 0
+			s.cwnd = s.ssthresh
+		} else {
+			// Partial ACK: retransmit the next SACK hole, deflate by the
+			// amount acked, and stay in recovery. The SACK scoreboard keeps
+			// this from devolving into NewReno's one-retransmission-per-RTT
+			// whole-window resend after reordering-induced (spurious) fast
+			// retransmits — the behaviour of the Linux stacks the paper
+			// deployed on.
+			if s.retxNext < s.sndUna {
+				s.retxNext = s.sndUna
+			}
+			s.retransmitHole()
+			s.cwnd -= float64(newly)
+			s.cwnd += float64(s.mss)
+			if s.cwnd < float64(s.mss) {
+				s.cwnd = float64(s.mss)
+			}
+		}
+		s.armTimer()
+		return
+	}
+
+	s.dupAcks = 0
+	if s.cwnd < s.ssthresh {
+		// Slow start with Appropriate Byte Counting (RFC 3465, L=2): grow
+		// by the bytes acknowledged, capped at 2 MSS per ACK, so coalesced
+		// (delayed) or lost ACKs do not slow the exponential ramp.
+		inc := float64(newly)
+		if max := 2 * float64(s.mss); inc > max {
+			inc = max
+		}
+		s.cwnd += inc
+	} else {
+		// Congestion avoidance: MSS^2/cwnd per ACK.
+		s.cwnd += float64(s.mss) * float64(s.mss) / s.cwnd
+	}
+	s.armTimer()
+}
+
+func (s *Sender) onDupAck() {
+	if s.cfg.DisableFastRetx {
+		return
+	}
+	if s.inRecovery {
+		// Window inflation while the holes drain; newly revealed holes
+		// (from fresh SACK blocks) are retransmitted as they appear.
+		s.cwnd += float64(s.mss)
+		s.retransmitHole()
+		return
+	}
+	s.dupAcks++
+	if s.dupAcks < s.dynDupThresh {
+		return
+	}
+	// Fast retransmit + fast recovery.
+	s.FastRetx++
+	s.undoValid = true
+	s.undoCwnd = s.cwnd
+	s.undoSsthresh = s.ssthresh
+	s.retxEpisode, s.dsackEpisode = 0, 0
+	s.ssthresh = s.cwnd / 2
+	if min := 2 * float64(s.mss); s.ssthresh < min {
+		s.ssthresh = min
+	}
+	s.recover = s.sndNxt
+	s.inRecovery = true
+	s.retxNext = s.sndUna
+	s.retransmitHole()
+	s.cwnd = s.ssthresh + float64(s.dynDupThresh)*float64(s.mss)
+	s.armTimer()
+}
+
+// retransmitHole resends the first un-SACKed segment at or above retxNext
+// that is deemed lost (RFC 6675's IsLost: at least DupThresh segments' worth
+// of SACKed bytes above it — a merely un-SACKed in-flight segment is not
+// lost). retxNext advances past each retransmission so every hole is resent
+// once per recovery episode.
+func (s *Sender) retransmitHole() {
+	seq := s.retxNext
+	if seq < s.sndUna {
+		seq = s.sndUna
+	}
+	seq = s.sacked.nextUncovered(seq)
+	if seq >= s.recover || seq >= s.flow.Size {
+		return
+	}
+	if s.sacked.bytesAbove(seq) < int64(s.dynDupThresh)*s.mss {
+		return
+	}
+	n := s.mss
+	if rem := s.flow.Size - seq; rem < n {
+		n = rem
+	}
+	s.emit(seq, int(n), true)
+	s.retxEpisode++
+	s.retxNext = seq + n
+}
+
+// maybeUndo reverts a spurious window reduction once DSACKs have confirmed
+// every retransmission of the episode was unnecessary.
+func (s *Sender) maybeUndo() {
+	if !s.undoValid || s.dsackEpisode < s.retxEpisode || s.retxEpisode == 0 {
+		return
+	}
+	s.undoValid = false
+	s.SpuriousUndo++
+	s.inRecovery = false
+	s.dupAcks = 0
+	if s.undoCwnd > s.cwnd {
+		s.cwnd = s.undoCwnd
+	}
+	if s.undoSsthresh > s.ssthresh {
+		s.ssthresh = s.undoSsthresh
+	}
+}
+
+// ecnCut applies DCTCP's proportional reduction (or a plain halving when
+// DCTCP is disabled), once per window of data.
+func (s *Sender) ecnCut() {
+	s.cwrEnd = s.sndNxt
+	var factor float64
+	if s.cfg.DisableDCTCP {
+		factor = 0.5
+	} else {
+		factor = 1 - s.alpha/2
+	}
+	s.cwnd *= factor
+	if s.cwnd < float64(s.mss) {
+		s.cwnd = float64(s.mss)
+	}
+	s.ssthresh = s.cwnd
+}
+
+// closeEpoch ends an RTT epoch: updates DCTCP's alpha from the epoch's
+// marked fraction and lets FlowBender decide whether to reroute.
+func (s *Sender) closeEpoch() {
+	if s.ackedBytes > 0 {
+		f := float64(s.markedBytes) / float64(s.ackedBytes)
+		g := s.cfg.DCTCPg
+		s.alpha = (1-g)*s.alpha + g*f
+	}
+	if s.fb != nil {
+		s.fb.OnRTTEnd()
+	}
+	s.ackedBytes, s.markedBytes = 0, 0
+	s.epochEnd = s.sndNxt
+}
+
+func (s *Sender) sampleRTT(rtt sim.Time) {
+	if rtt <= 0 {
+		rtt = 1
+	}
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+	} else {
+		d := s.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		s.rttvar = (3*s.rttvar + d) / 4
+		s.srtt = (7*s.srtt + rtt) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < s.cfg.RTOMin {
+		s.rto = s.cfg.RTOMin
+	}
+	if s.rto > s.cfg.RTOMax {
+		s.rto = s.cfg.RTOMax
+	}
+}
+
+// SRTT returns the smoothed RTT estimate.
+func (s *Sender) SRTT() sim.Time { return s.srtt }
+
+// RTO returns the current retransmission timeout (before backoff).
+func (s *Sender) RTO() sim.Time { return s.rto }
+
+func (s *Sender) armTimer() {
+	if s.sndUna >= s.flow.Size || s.sndUna >= s.sndNxt {
+		s.cancelTimer()
+		return
+	}
+	s.cancelTimer()
+	d := s.rto << s.backoff
+	if d > s.cfg.RTOMax {
+		d = s.cfg.RTOMax
+	}
+	s.timer = s.eng.Schedule(d, s.onTimeout)
+}
+
+func (s *Sender) cancelTimer() {
+	if s.timer != nil {
+		s.eng.Cancel(s.timer)
+		s.timer = nil
+	}
+}
+
+func (s *Sender) onTimeout() {
+	s.timer = nil
+	if s.sndUna >= s.flow.Size {
+		return
+	}
+	s.Timeouts++
+	s.undoValid = false
+	s.ssthresh = s.cwnd / 2
+	if min := 2 * float64(s.mss); s.ssthresh < min {
+		s.ssthresh = min
+	}
+	s.cwnd = float64(s.mss)
+	s.sndNxt = s.sndUna
+	s.dupAcks = 0
+	s.inRecovery = false
+	if s.backoff < 16 {
+		s.backoff++
+	}
+	// FlowBender's failure story (§3.3.2): an RTO immediately re-draws V so
+	// the retransmission probes a different path — this is what recovers
+	// from link failures within ~one RTO.
+	if s.fb != nil {
+		s.fb.OnTimeout()
+	}
+	// Reset epoch accounting: the path likely changed.
+	s.ackedBytes, s.markedBytes = 0, 0
+	s.epochEnd = s.sndNxt
+	s.trySend()
+}

@@ -1,0 +1,84 @@
+package topo
+
+import "flowbender/internal/netsim"
+
+// FailAgg cuts every cable of an aggregation switch (a whole-switch
+// failure): its ToR downlinks and core uplinks in both directions. Routing
+// tables stay stale, as with Duplex.Fail.
+func (ft *FatTree) FailAgg(pod, agg int) {
+	for t := 0; t < ft.P.TorsPerPod; t++ {
+		ft.TorAggLinks[pod][t][agg].Fail()
+	}
+	for k := 0; k < ft.P.CoreUplinksPerAgg; k++ {
+		ft.AggCoreLinks[pod][agg][k].Fail()
+	}
+}
+
+// RestoreAgg brings a previously failed aggregation switch back.
+func (ft *FatTree) RestoreAgg(pod, agg int) {
+	for t := 0; t < ft.P.TorsPerPod; t++ {
+		ft.TorAggLinks[pod][t][agg].Restore()
+	}
+	for k := 0; k < ft.P.CoreUplinksPerAgg; k++ {
+		ft.AggCoreLinks[pod][agg][k].Restore()
+	}
+}
+
+// FailCore cuts every cable of a core switch (its one link per pod).
+func (ft *FatTree) FailCore(core int) {
+	a := core / ft.P.CoreUplinksPerAgg
+	k := core % ft.P.CoreUplinksPerAgg
+	for pod := 0; pod < ft.P.Pods; pod++ {
+		ft.AggCoreLinks[pod][a][k].Fail()
+	}
+}
+
+// RestoreCore brings a previously failed core switch back.
+func (ft *FatTree) RestoreCore(core int) {
+	a := core / ft.P.CoreUplinksPerAgg
+	k := core % ft.P.CoreUplinksPerAgg
+	for pod := 0; pod < ft.P.Pods; pod++ {
+		ft.AggCoreLinks[pod][a][k].Restore()
+	}
+}
+
+// FailSpine cuts every cable of a leaf-spine spine switch.
+func (ls *LeafSpine) FailSpine(spine int) {
+	for t := 0; t < ls.P.Tors; t++ {
+		ls.UpLinks[t][spine].Fail()
+	}
+}
+
+// RestoreSpine brings a previously failed spine switch back.
+func (ls *LeafSpine) RestoreSpine(spine int) {
+	for t := 0; t < ls.P.Tors; t++ {
+		ls.UpLinks[t][spine].Restore()
+	}
+}
+
+// DownLinks reports how many cables of the fat-tree are currently failed
+// (for assertions and tooling).
+func (ft *FatTree) DownLinks() int {
+	count := 0
+	visit := func(d *netsim.Duplex) {
+		if d.Failed() {
+			count++
+		}
+	}
+	for _, d := range ft.HostLinks {
+		visit(d)
+	}
+	for pod := range ft.TorAggLinks {
+		for _, tors := range ft.TorAggLinks[pod] {
+			for _, d := range tors {
+				visit(d)
+			}
+		}
+		for _, aggs := range ft.AggCoreLinks[pod] {
+			for _, d := range aggs {
+				visit(d)
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,64 @@
+package topo
+
+import (
+	"testing"
+
+	"flowbender/internal/sim"
+)
+
+func TestFailAggCutsAllItsCables(t *testing.T) {
+	eng := sim.NewEngine()
+	p := TinyScale()
+	ft := NewFatTree(eng, p)
+	if ft.DownLinks() != 0 {
+		t.Fatal("fresh fabric has failed links")
+	}
+	ft.FailAgg(0, 1)
+	want := p.TorsPerPod + p.CoreUplinksPerAgg
+	if got := ft.DownLinks(); got != want {
+		t.Fatalf("down links = %d, want %d", got, want)
+	}
+	ft.RestoreAgg(0, 1)
+	if ft.DownLinks() != 0 {
+		t.Fatal("restore incomplete")
+	}
+}
+
+func TestFailCoreCutsOnePerPod(t *testing.T) {
+	eng := sim.NewEngine()
+	p := PaperScale()
+	ft := NewFatTree(eng, p)
+	ft.FailCore(5)
+	if got := ft.DownLinks(); got != p.Pods {
+		t.Fatalf("down links = %d, want %d", got, p.Pods)
+	}
+	// The right agg's uplink in each pod: core 5 = agg 2, uplink 1.
+	for pod := 0; pod < p.Pods; pod++ {
+		if !ft.AggCoreLinks[pod][2][1].Failed() {
+			t.Fatalf("pod %d wrong link cut", pod)
+		}
+	}
+	ft.RestoreCore(5)
+	if ft.DownLinks() != 0 {
+		t.Fatal("restore incomplete")
+	}
+}
+
+func TestFailSpine(t *testing.T) {
+	eng := sim.NewEngine()
+	lp := SmallTestbed()
+	ls := NewLeafSpine(eng, lp)
+	ls.FailSpine(2)
+	for tor := 0; tor < lp.Tors; tor++ {
+		if !ls.UpLinks[tor][2].Failed() {
+			t.Fatalf("tor %d spine-2 cable not cut", tor)
+		}
+		if ls.UpLinks[tor][1].Failed() {
+			t.Fatal("unrelated cable cut")
+		}
+	}
+	ls.RestoreSpine(2)
+	if ls.UpLinks[0][2].Failed() {
+		t.Fatal("restore incomplete")
+	}
+}

@@ -1,0 +1,224 @@
+package topo
+
+import (
+	"fmt"
+
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+)
+
+// FatTree is a built three-tier topology with its hosts, switches, and
+// cable handles.
+type FatTree struct {
+	P   Params
+	Eng *sim.Engine
+
+	Hosts []*netsim.Host
+	// Tors[pod][t], Aggs[pod][a], Cores[c].
+	Tors  [][]*netsim.Switch
+	Aggs  [][]*netsim.Switch
+	Cores []*netsim.Switch
+
+	// HostLinks[h] is the server-to-ToR cable of host h.
+	HostLinks []*netsim.Duplex
+	// TorAggLinks[pod][t][a] is the (single, TorAggRateBps) cable between
+	// ToR t and agg a in pod.
+	TorAggLinks [][][]*netsim.Duplex
+	// AggCoreLinks[pod][a][k] is agg a's k-th core uplink in pod.
+	AggCoreLinks [][][]*netsim.Duplex
+}
+
+// NewFatTree builds the topology, wires every cable, and installs up/down
+// ECMP routing tables. Selectors must be installed afterwards with
+// SetSelector.
+//
+// Port layout:
+//
+//	ToR:  [0, S) servers; [S, S+A) uplinks, port S + a -> agg a
+//	Agg:  [0, T) downlinks, port t -> ToR t; [T, T+K) core uplinks
+//	Core: [0, Pods) one port per pod
+//
+// Core c attaches to agg c/K via that agg's uplink c%K, in every pod.
+// ToR-agg links run at TorAggRateBps; everything else at LinkRateBps.
+func NewFatTree(eng *sim.Engine, p Params) *FatTree {
+	validate(p)
+	ft := &FatTree{P: p, Eng: eng}
+	n := p.NumHosts()
+
+	// Hosts.
+	ft.Hosts = make([]*netsim.Host, n)
+	for i := range ft.Hosts {
+		ft.Hosts[i] = netsim.NewHost(eng, netsim.NodeID(i), p.LinkRateBps, p.HostDelay)
+	}
+
+	// Switches. Switch NodeIDs live above the host ID space.
+	nextID := netsim.NodeID(n)
+	newSwitch := func(ports int) *netsim.Switch {
+		s := netsim.NewSwitch(eng, nextID, ports, p.LinkRateBps, p.switchConfig())
+		nextID++
+		return s
+	}
+	fat := p.TorAggRateBps()
+	for pod := 0; pod < p.Pods; pod++ {
+		ft.Tors = append(ft.Tors, nil)
+		ft.Aggs = append(ft.Aggs, nil)
+		for t := 0; t < p.TorsPerPod; t++ {
+			tor := newSwitch(p.ServersPerTor + p.AggsPerPod)
+			for a := 0; a < p.AggsPerPod; a++ {
+				tor.Ports[p.ServersPerTor+a].RateBps = fat
+			}
+			ft.Tors[pod] = append(ft.Tors[pod], tor)
+		}
+		for a := 0; a < p.AggsPerPod; a++ {
+			agg := newSwitch(p.TorsPerPod + p.CoreUplinksPerAgg)
+			for t := 0; t < p.TorsPerPod; t++ {
+				agg.Ports[t].RateBps = fat
+			}
+			ft.Aggs[pod] = append(ft.Aggs[pod], agg)
+		}
+	}
+	ft.Cores = make([]*netsim.Switch, p.NumCores())
+	for c := range ft.Cores {
+		ft.Cores[c] = newSwitch(p.Pods)
+	}
+
+	ft.wire()
+	ft.installRoutes()
+	return ft
+}
+
+func validate(p Params) {
+	if p.Pods < 2 || p.TorsPerPod < 1 || p.AggsPerPod < 1 || p.ServersPerTor < 1 ||
+		p.CoreUplinksPerAgg < 1 {
+		panic(fmt.Sprintf("topo: invalid fat-tree params %+v", p))
+	}
+	if p.ServersPerTor%p.AggsPerPod != 0 {
+		panic(fmt.Sprintf("topo: ServersPerTor (%d) must be a multiple of AggsPerPod (%d) for non-oversubscribed ToRs",
+			p.ServersPerTor, p.AggsPerPod))
+	}
+}
+
+func (ft *FatTree) wire() {
+	p := ft.P
+	ft.HostLinks = make([]*netsim.Duplex, len(ft.Hosts))
+	ft.TorAggLinks = make([][][]*netsim.Duplex, p.Pods)
+	ft.AggCoreLinks = make([][][]*netsim.Duplex, p.Pods)
+	for pod := 0; pod < p.Pods; pod++ {
+		ft.TorAggLinks[pod] = make([][]*netsim.Duplex, p.TorsPerPod)
+		for t := 0; t < p.TorsPerPod; t++ {
+			tor := ft.Tors[pod][t]
+			ft.TorAggLinks[pod][t] = make([]*netsim.Duplex, p.AggsPerPod)
+			for s := 0; s < p.ServersPerTor; s++ {
+				h := ft.HostIndex(pod, t, s)
+				ft.HostLinks[h] = netsim.WireHost(ft.Hosts[h], tor, s, p.LinkDelay)
+			}
+			for a := 0; a < p.AggsPerPod; a++ {
+				ft.TorAggLinks[pod][t][a] = netsim.WireSwitches(
+					tor, p.ServersPerTor+a, ft.Aggs[pod][a], t, p.LinkDelay)
+			}
+		}
+		ft.AggCoreLinks[pod] = make([][]*netsim.Duplex, p.AggsPerPod)
+		for a := 0; a < p.AggsPerPod; a++ {
+			agg := ft.Aggs[pod][a]
+			ft.AggCoreLinks[pod][a] = make([]*netsim.Duplex, p.CoreUplinksPerAgg)
+			for k := 0; k < p.CoreUplinksPerAgg; k++ {
+				core := ft.Cores[a*p.CoreUplinksPerAgg+k]
+				ft.AggCoreLinks[pod][a][k] = netsim.WireSwitches(
+					agg, p.TorsPerPod+k, core, pod, p.LinkDelay)
+			}
+		}
+	}
+}
+
+func (ft *FatTree) installRoutes() {
+	p := ft.P
+	n := p.NumHosts()
+
+	upTor := make([]int32, p.AggsPerPod)
+	for a := range upTor {
+		upTor[a] = int32(p.ServersPerTor + a)
+	}
+	upAgg := make([]int32, p.CoreUplinksPerAgg)
+	for k := range upAgg {
+		upAgg[k] = int32(p.TorsPerPod + k)
+	}
+
+	for pod := 0; pod < p.Pods; pod++ {
+		for t, tor := range ft.Tors[pod] {
+			routes := make([][]int32, n)
+			for dst := 0; dst < n; dst++ {
+				dp, dt, ds := ft.HostLoc(dst)
+				if dp == pod && dt == t {
+					routes[dst] = []int32{int32(ds)}
+				} else {
+					routes[dst] = upTor
+				}
+			}
+			tor.SetRoutes(routes)
+		}
+		for _, agg := range ft.Aggs[pod] {
+			routes := make([][]int32, n)
+			for dst := 0; dst < n; dst++ {
+				dp, dt, _ := ft.HostLoc(dst)
+				if dp == pod {
+					routes[dst] = []int32{int32(dt)}
+				} else {
+					routes[dst] = upAgg
+				}
+			}
+			agg.SetRoutes(routes)
+		}
+	}
+	for _, core := range ft.Cores {
+		routes := make([][]int32, n)
+		for dst := 0; dst < n; dst++ {
+			dp, _, _ := ft.HostLoc(dst)
+			routes[dst] = []int32{int32(dp)}
+		}
+		core.SetRoutes(routes)
+	}
+}
+
+// SetSelector installs the same multipath selector on every switch.
+func (ft *FatTree) SetSelector(sel netsim.Selector) {
+	for _, s := range ft.AllSwitches() {
+		s.SetSelector(sel)
+	}
+}
+
+// AllSwitches returns every switch in the fabric.
+func (ft *FatTree) AllSwitches() []*netsim.Switch {
+	var out []*netsim.Switch
+	for pod := range ft.Tors {
+		out = append(out, ft.Tors[pod]...)
+		out = append(out, ft.Aggs[pod]...)
+	}
+	return append(out, ft.Cores...)
+}
+
+// HostIndex maps (pod, tor, server) to a host index.
+func (ft *FatTree) HostIndex(pod, tor, server int) int {
+	p := ft.P
+	return (pod*p.TorsPerPod+tor)*p.ServersPerTor + server
+}
+
+// HostLoc maps a host index to (pod, tor, server).
+func (ft *FatTree) HostLoc(h int) (pod, tor, server int) {
+	p := ft.P
+	server = h % p.ServersPerTor
+	tor = (h / p.ServersPerTor) % p.TorsPerPod
+	pod = h / (p.ServersPerTor * p.TorsPerPod)
+	return
+}
+
+// PodOf returns the pod a host belongs to.
+func (ft *FatTree) PodOf(h int) int { pod, _, _ := ft.HostLoc(h); return pod }
+
+// TorHosts returns the host indices attached to (pod, tor).
+func (ft *FatTree) TorHosts(pod, tor int) []int {
+	out := make([]int, ft.P.ServersPerTor)
+	for s := range out {
+		out[s] = ft.HostIndex(pod, tor, s)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package topo builds the datacenter topologies the paper evaluates on: the
+// three-tier fat-tree of §4.2 (pods of ToR + aggregation switches joined by a
+// core layer, Figures 1/2) and the two-tier leaf–spine of the §4.3 testbed
+// (15 ToRs interconnected by 4 aggregation switches). It also computes the
+// standard up/down ECMP routing tables and exposes handles for link-failure
+// injection.
+package topo
+
+import (
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+)
+
+// Gbps converts gigabits per second to bits per second.
+const Gbps = int64(1_000_000_000)
+
+// KB is 1000 bytes, the unit the paper uses for queue thresholds.
+const KB = 1000
+
+// Params describes a fat-tree instance and its link/queue characteristics.
+type Params struct {
+	Pods              int // number of pods
+	TorsPerPod        int // ToR switches per pod
+	AggsPerPod        int // aggregation switches per pod
+	ServersPerTor     int // hosts per ToR
+	CoreUplinksPerAgg int // core uplinks per aggregation switch
+
+	// LinkRateBps is the line rate of server access links and
+	// aggregation-core links. Each ToR connects to each aggregation switch
+	// with ONE link (as in the paper's Figures 1/2) whose rate is scaled so
+	// ToRs are non-oversubscribed (see TorAggRateBps) — the paper's Table 1
+	// arithmetic (k equal flows on P = AggsPerPod*CoreUplinksPerAgg paths
+	// finish in k/P * size/rate) requires the full 4x oversubscription to
+	// sit at the aggregation-to-core stage.
+	LinkRateBps int64
+	LinkDelay   sim.Time // propagation delay per hop
+	HostDelay   sim.Time // per-direction host processing delay
+	SwitchDelay sim.Time // per-packet switch forwarding delay
+
+	QueueCap int               // per-egress-port drop-tail capacity (bytes)
+	MarkK    int               // DCTCP ECN threshold (bytes)
+	PFC      *netsim.PFCConfig // non-nil for DeTail's lossless fabric
+}
+
+// PaperScale returns the exact configuration of §4.2: 128 servers in four
+// pods (4 ToR + 4 agg each), 8 core switches, 10 Gbps links, 20 µs host and
+// 1 µs switch delay (90 µs inter-pod RTT), K = 90 KB.
+func PaperScale() Params {
+	return Params{
+		Pods:              4,
+		TorsPerPod:        4,
+		AggsPerPod:        4,
+		ServersPerTor:     8,
+		CoreUplinksPerAgg: 2,
+		LinkRateBps:       10 * Gbps,
+		LinkDelay:         0,
+		HostDelay:         20 * sim.Microsecond,
+		SwitchDelay:       1 * sim.Microsecond,
+		QueueCap:          1000 * KB,
+		MarkK:             90 * KB,
+	}
+}
+
+// SmallScale returns a reduced instance (64 servers, 4 inter-pod paths) that
+// preserves the paper's structure — non-oversubscribed ToRs, 4x total
+// oversubscription at the aggregation-core stage — so normalized results
+// keep their shape while running quickly on one core.
+func SmallScale() Params {
+	p := PaperScale()
+	p.AggsPerPod = 2
+	p.ServersPerTor = 4
+	return p
+}
+
+// TinyScale is for unit tests: 16 servers, 2 pods, 2 paths, 4x oversub.
+func TinyScale() Params {
+	p := PaperScale()
+	p.Pods = 2
+	p.TorsPerPod = 2
+	p.AggsPerPod = 2
+	p.ServersPerTor = 4
+	p.CoreUplinksPerAgg = 1
+	return p
+}
+
+// NumHosts returns the total number of servers.
+func (p Params) NumHosts() int { return p.Pods * p.TorsPerPod * p.ServersPerTor }
+
+// TorUplinks returns the number of uplinks each ToR has (one per agg).
+func (p Params) TorUplinks() int { return p.AggsPerPod }
+
+// TorAggRateBps returns the rate of each ToR-to-aggregation link, scaled so
+// the ToR is non-oversubscribed: ServersPerTor/AggsPerPod times the access
+// rate (20 Gbps in the paper-scale instance).
+func (p Params) TorAggRateBps() int64 {
+	return p.LinkRateBps * int64(p.ServersPerTor) / int64(p.AggsPerPod)
+}
+
+// NumCores returns the number of core switches.
+func (p Params) NumCores() int { return p.AggsPerPod * p.CoreUplinksPerAgg }
+
+// PathsBetweenPods returns the number of distinct inter-pod paths (the
+// paper's P).
+func (p Params) PathsBetweenPods() int { return p.AggsPerPod * p.CoreUplinksPerAgg }
+
+// BisectionBps returns the fabric's bisection bandwidth: half the total
+// core-layer capacity (the paper reports workload load relative to this).
+func (p Params) BisectionBps() int64 {
+	return int64(p.NumCores()) * int64(p.Pods) * p.LinkRateBps / 2
+}
+
+// InterPodFraction returns the fraction of uniform random traffic that
+// crosses the bisection.
+func (p Params) InterPodFraction() float64 {
+	return float64(p.Pods-1) / float64(p.Pods)
+}
+
+// Oversubscription returns the server-to-core oversubscription factor.
+func (p Params) Oversubscription() float64 {
+	serverBW := float64(p.TorsPerPod * p.ServersPerTor) // per pod, in links
+	coreBW := float64(p.AggsPerPod * p.CoreUplinksPerAgg)
+	return serverBW / coreBW
+}
+
+func (p Params) switchConfig() netsim.SwitchConfig {
+	return netsim.SwitchConfig{
+		QueueCap: p.QueueCap,
+		MarkK:    p.MarkK,
+		FwdDelay: p.SwitchDelay,
+		PFC:      p.PFC,
+	}
+}

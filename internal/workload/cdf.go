@@ -1,0 +1,98 @@
+// Package workload generates the paper's traffic patterns: the heavy-tailed
+// web-search flow-size distribution (modeled after reference [8], the DCTCP
+// measurement study), Poisson all-to-all traffic (§4.2.2), synchronized
+// partition–aggregate jobs (§4.2.4), the ToR-to-ToR validation flows of
+// Table 1, and the TCP-shuffle-plus-UDP hotspot of §4.3.1.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"flowbender/internal/sim"
+)
+
+// CDFPoint is one point of an empirical CDF: P(flowsize <= Bytes) = P.
+type CDFPoint struct {
+	Bytes int64
+	P     float64
+}
+
+// CDF is an empirical flow-size distribution, sampled by inverse transform
+// with linear interpolation between points.
+type CDF []CDFPoint
+
+// WebSearchCDF is a heavy-tailed flow-size distribution modeled after the
+// production web-search workload of the paper's reference [8] (Alizadeh et
+// al., DCTCP): mostly sub-100 KB flows, with the few >1 MB flows carrying
+// the large majority of bytes — exactly the regime where ECMP's static
+// hashing leaves long-lived collisions for FlowBender to disperse.
+func WebSearchCDF() CDF {
+	return CDF{
+		{1_000, 0},
+		{6_000, 0.15},
+		{13_000, 0.30},
+		{19_000, 0.40},
+		{33_000, 0.53},
+		{53_000, 0.60},
+		{133_000, 0.70},
+		{667_000, 0.80},
+		{1_333_000, 0.90},
+		{3_333_000, 0.95},
+		{6_667_000, 0.98},
+		{20_000_000, 1.0},
+	}
+}
+
+// Fixed returns a degenerate CDF: every flow has exactly the given size
+// (Figure 8's 1 MB flows and the hotspot shuffle use this).
+func Fixed(size int64) CDF { return CDF{{Bytes: size, P: 1}} }
+
+// Validate checks that the CDF is well formed: increasing sizes, monotone
+// probabilities from 0-ish to exactly 1.
+func (c CDF) Validate() error {
+	if len(c) < 1 {
+		return fmt.Errorf("workload: CDF needs >= 1 point")
+	}
+	for i := range c {
+		if c[i].Bytes <= 0 {
+			return fmt.Errorf("workload: CDF point %d has non-positive size", i)
+		}
+		if c[i].P < 0 || c[i].P > 1 {
+			return fmt.Errorf("workload: CDF point %d has probability %v", i, c[i].P)
+		}
+		if i > 0 && (c[i].Bytes <= c[i-1].Bytes || c[i].P < c[i-1].P) {
+			return fmt.Errorf("workload: CDF not monotone at point %d", i)
+		}
+	}
+	if c[len(c)-1].P != 1 {
+		return fmt.Errorf("workload: CDF must end at P=1")
+	}
+	return nil
+}
+
+// Sample draws a flow size by inverse transform.
+func (c CDF) Sample(rng *sim.RNG) int64 {
+	u := rng.Float64()
+	i := sort.Search(len(c), func(i int) bool { return c[i].P >= u })
+	if i == 0 {
+		return c[0].Bytes
+	}
+	lo, hi := c[i-1], c[i]
+	if hi.P == lo.P {
+		return hi.Bytes
+	}
+	frac := (u - lo.P) / (hi.P - lo.P)
+	return lo.Bytes + int64(frac*float64(hi.Bytes-lo.Bytes))
+}
+
+// Mean returns the analytic mean of the interpolated distribution.
+func (c CDF) Mean() float64 {
+	mean := float64(c[0].Bytes) * c[0].P
+	for i := 1; i < len(c); i++ {
+		dp := c[i].P - c[i-1].P
+		mid := float64(c[i-1].Bytes+c[i].Bytes) / 2
+		mean += dp * mid
+	}
+	return mean
+}

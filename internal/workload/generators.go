@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+	"flowbender/internal/tcp"
+)
+
+// FlowFactory starts one transport flow; experiments bind it to
+// tcp.StartFlow with the scheme under test.
+type FlowFactory func(id netsim.FlowID, src, dst *netsim.Host, size int64) *tcp.Flow
+
+// IDAllocator hands out unique flow IDs for one simulation run.
+type IDAllocator struct{ next netsim.FlowID }
+
+// NewIDAllocator returns an allocator starting above base. Varying the base
+// across repeated runs varies the flows' port numbers (which are derived
+// from the IDs) and therefore their ECMP hash draws.
+func NewIDAllocator(base netsim.FlowID) *IDAllocator {
+	return &IDAllocator{next: base}
+}
+
+// Next returns a fresh flow ID.
+func (a *IDAllocator) Next() netsim.FlowID {
+	a.next++
+	return a.next
+}
+
+// AllToAll drives the paper's §4.2.2 workload: flows arrive as a Poisson
+// process; each flow picks a uniform random source and a distinct uniform
+// random destination, with sizes drawn from a heavy-tailed CDF. Load is
+// expressed as the average fraction of each server's access-link rate
+// divided by the fabric's oversubscription, matching the paper's
+// "average network load relative to the bisection bandwidth".
+type AllToAll struct {
+	Eng   *sim.Engine
+	RNG   *sim.RNG
+	Hosts []*netsim.Host
+	// SrcHosts, when non-empty, restricts senders to this subset (the
+	// paper's testbed pattern has one ToR's servers initiate all flows);
+	// destinations are still drawn from Hosts.
+	SrcHosts []*netsim.Host
+	CDF      CDF
+	Start    FlowFactory
+	IDs      *IDAllocator
+
+	// MeanInterarrival between consecutive flow arrivals (aggregate).
+	MeanInterarrival sim.Time
+	// MaxFlows stops generating after this many flows (0 = until Stop).
+	MaxFlows int
+
+	Flows   []*tcp.Flow
+	stopped bool
+}
+
+// AggregateInterarrival computes the aggregate Poisson interarrival time for
+// a target load, where load is — as the paper reports it — the fraction of
+// the fabric's bisection bandwidth consumed by the traffic that actually
+// crosses the bisection. With uniform random destinations, interPodFrac of
+// the offered bytes cross pods, so the total offered rate is
+// load * bisectionBps / interPodFrac. At load 1.0 the aggregation-to-core
+// stage is exactly saturated.
+func AggregateInterarrival(load float64, bisectionBps int64, interPodFrac float64, meanFlowBytes float64) sim.Time {
+	totalBps := load * float64(bisectionBps) / interPodFrac
+	flowsPerSec := totalBps / (meanFlowBytes * 8)
+	return sim.Time(float64(sim.Second) / flowsPerSec)
+}
+
+// Run begins the arrival process.
+func (g *AllToAll) Run() { g.arrive() }
+
+// Stop halts new arrivals; in-flight flows continue.
+func (g *AllToAll) Stop() { g.stopped = true }
+
+func (g *AllToAll) arrive() {
+	if g.stopped || (g.MaxFlows > 0 && len(g.Flows) >= g.MaxFlows) {
+		return
+	}
+	var src *netsim.Host
+	if len(g.SrcHosts) > 0 {
+		src = g.SrcHosts[g.RNG.Intn(len(g.SrcHosts))]
+	} else {
+		src = g.Hosts[g.RNG.Intn(len(g.Hosts))]
+	}
+	dst := src
+	for dst == src {
+		dst = g.Hosts[g.RNG.Intn(len(g.Hosts))]
+	}
+	size := g.CDF.Sample(g.RNG)
+	f := g.Start(g.IDs.Next(), src, dst, size)
+	g.Flows = append(g.Flows, f)
+	g.Eng.Schedule(g.RNG.Exp(g.MeanInterarrival), g.arrive)
+}
+
+// Job is one partition–aggregate transaction: n workers respond
+// simultaneously to one aggregator; the job completes when the slowest
+// response finishes.
+type Job struct {
+	Flows []*tcp.Flow
+	Start sim.Time
+}
+
+// Done reports whether every response has completed.
+func (j *Job) Done() bool {
+	for _, f := range j.Flows {
+		if !f.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// CompletionTime returns the time of the last flow to finish, minus the
+// job's start (the paper's metric in Figure 5).
+func (j *Job) CompletionTime() sim.Time {
+	var last sim.Time
+	for _, f := range j.Flows {
+		if f.RecvDone > last {
+			last = f.RecvDone
+		}
+	}
+	return last - j.Start
+}
+
+// PartitionAggregate drives the paper's §4.2.4 incast workload: jobs arrive
+// as a Poisson process; each JobBytes transaction is split evenly across
+// FanIn workers spread randomly in the fabric, all responding at once to a
+// random aggregator.
+type PartitionAggregate struct {
+	Eng   *sim.Engine
+	RNG   *sim.RNG
+	Hosts []*netsim.Host
+	Start FlowFactory
+	IDs   *IDAllocator
+
+	JobBytes         int64
+	FanIn            int
+	MeanInterarrival sim.Time
+	MaxJobs          int
+
+	Jobs    []*Job
+	stopped bool
+}
+
+// JobInterarrival computes the Poisson interarrival for partition-aggregate
+// jobs at the given load (same load definition as AggregateInterarrival).
+func JobInterarrival(load float64, bisectionBps int64, interPodFrac float64, jobBytes int64) sim.Time {
+	totalBps := load * float64(bisectionBps) / interPodFrac
+	jobsPerSec := totalBps / (float64(jobBytes) * 8)
+	return sim.Time(float64(sim.Second) / jobsPerSec)
+}
+
+// Run begins the arrival process.
+func (g *PartitionAggregate) Run() { g.arrive() }
+
+// Stop halts new arrivals.
+func (g *PartitionAggregate) Stop() { g.stopped = true }
+
+func (g *PartitionAggregate) arrive() {
+	if g.stopped || (g.MaxJobs > 0 && len(g.Jobs) >= g.MaxJobs) {
+		return
+	}
+	agg := g.RNG.Intn(len(g.Hosts))
+	per := g.JobBytes / int64(g.FanIn)
+	if per < 1 {
+		per = 1
+	}
+	job := &Job{Start: g.Eng.Now()}
+	used := map[int]bool{agg: true}
+	for w := 0; w < g.FanIn; w++ {
+		// Workers are distinct from the aggregator and, while possible,
+		// from each other (with more workers than hosts they repeat).
+		src := g.RNG.IntnExcept(len(g.Hosts), agg)
+		for used[src] && len(used) < len(g.Hosts) {
+			src = g.RNG.IntnExcept(len(g.Hosts), agg)
+		}
+		used[src] = true
+		f := g.Start(g.IDs.Next(), g.Hosts[src], g.Hosts[agg], per)
+		job.Flows = append(job.Flows, f)
+	}
+	g.Jobs = append(g.Jobs, job)
+	g.Eng.Schedule(g.RNG.Exp(g.MeanInterarrival), g.arrive)
+}
+
+// Validation starts k equal-size flows from the hosts of one ToR to the
+// hosts of another ToR simultaneously (Table 1's microbenchmark). srcHosts
+// and dstHosts are the two ToRs' host sets; flow i runs from
+// srcHosts[i mod len] to dstHosts[i mod len].
+func Validation(ids *IDAllocator, start FlowFactory, srcHosts, dstHosts []*netsim.Host, k int, size int64) []*tcp.Flow {
+	flows := make([]*tcp.Flow, 0, k)
+	for i := 0; i < k; i++ {
+		src := srcHosts[i%len(srcHosts)]
+		dst := dstHosts[i%len(dstHosts)]
+		flows = append(flows, start(ids.Next(), src, dst, size))
+	}
+	return flows
+}

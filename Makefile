@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench results results-paper examples clean
+.PHONY: all build vet test test-short test-race bench results results-paper examples clean
 
 all: build vet test
 
@@ -17,14 +17,22 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Race-detector pass over the parallel experiment runner and everything else.
+test-race:
+	$(GO) test -race -short ./...
+	$(GO) test -race -run 'TestParallelDeterminism' ./internal/experiments/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate the paper's tables/figures at the 64-server scale (~15 min).
+# Regenerate the paper's tables/figures at the 64-server scale. Simulation
+# points fan out across all cores (-parallel 0 = GOMAXPROCS); output is
+# byte-identical to a sequential run. ~15 min on one core, ~15/N on N.
 results:
 	$(GO) run ./cmd/fbbench -scale small | tee results_small.txt
 
-# The full 128-server instances of Table 1 and Figures 3/4 (~1 h).
+# The full 128-server instances of Table 1 and Figures 3/4 (~1 h on one
+# core; scales down with core count).
 results-paper:
 	$(GO) run ./cmd/fbsim -exp table1 -scale paper | tee results_paper_table1.txt
 	$(GO) run ./cmd/fbsim -exp alltoall -scale paper | tee results_paper_alltoall.txt

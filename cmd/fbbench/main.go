@@ -18,13 +18,15 @@ import (
 
 func main() {
 	var (
-		seed  = flag.Int64("seed", 1, "random seed")
-		scale = flag.String("scale", "small", "fabric scale: tiny, small, paper")
-		verb  = flag.Bool("v", false, "log per-run progress to stderr")
+		seed     = flag.Int64("seed", 1, "random seed")
+		scale    = flag.String("scale", "small", "fabric scale: tiny, small, paper")
+		parallel = flag.Int("parallel", 0, "max concurrent simulation points (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
+		seeds    = flag.Int("seeds", 0, "replicate each point over this many seeds and report mean ± stddev")
+		verb     = flag.Bool("v", false, "log per-run progress to stderr")
 	)
 	flag.Parse()
 
-	o := experiments.Options{Seed: *seed}
+	o := experiments.Options{Seed: *seed, Parallelism: *parallel, Seeds: *seeds}
 	switch *scale {
 	case "tiny":
 		o.Scale = experiments.ScaleTiny

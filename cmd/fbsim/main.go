@@ -15,18 +15,22 @@ import (
 	"os"
 
 	"flowbender/internal/experiments"
+	"flowbender/internal/workload"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment name (see -list)")
-		list   = flag.Bool("list", false, "list available experiments")
-		seed   = flag.Int64("seed", 1, "random seed")
-		scale  = flag.String("scale", "small", "fabric scale: tiny, small, paper")
-		flows  = flag.Int("flows", 0, "override per-run flow count")
-		jobs   = flag.Int("jobs", 0, "override partition-aggregate job count")
-		verb   = flag.Bool("v", false, "log per-run progress to stderr")
-		asJSON = flag.Bool("json", false, "emit the result as JSON instead of a table")
+		exp      = flag.String("exp", "", "experiment name (see -list)")
+		list     = flag.Bool("list", false, "list available experiments")
+		seed     = flag.Int64("seed", 1, "random seed")
+		scale    = flag.String("scale", "small", "fabric scale: tiny, small, paper")
+		flows    = flag.Int("flows", 0, "override per-run flow count")
+		jobs     = flag.Int("jobs", 0, "override partition-aggregate job count")
+		parallel = flag.Int("parallel", 0, "max concurrent simulation points (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
+		seeds    = flag.Int("seeds", 0, "replicate each point over this many seeds and report mean ± stddev")
+		cdfPath  = flag.String("cdf", "", "flow-size CDF file for all-to-all workloads (lines of \"<bytes> <cumulative-prob>\")")
+		verb     = flag.Bool("v", false, "log per-run progress to stderr")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of a table")
 	)
 	flag.Parse()
 
@@ -47,9 +51,25 @@ func main() {
 		os.Exit(2)
 	}
 	o := experiments.Options{
-		Seed:      *seed,
-		FlowCount: *flows,
-		JobCount:  *jobs,
+		Seed:        *seed,
+		FlowCount:   *flows,
+		JobCount:    *jobs,
+		Parallelism: *parallel,
+		Seeds:       *seeds,
+	}
+	if *cdfPath != "" {
+		f, err := os.Open(*cdfPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fbsim:", err)
+			os.Exit(2)
+		}
+		cdf, err := workload.ParseCDF(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fbsim: %s: %v\n", *cdfPath, err)
+			os.Exit(2)
+		}
+		o.CDF = cdf
 	}
 	switch *scale {
 	case "tiny":

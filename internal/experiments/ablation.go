@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"flowbender/internal/core"
+	"flowbender/internal/runpool"
 	"flowbender/internal/sim"
 	"flowbender/internal/stats"
 )
@@ -56,12 +57,45 @@ type AblationResult struct {
 	ValIdealMs float64
 }
 
-// Ablations runs the variant comparison.
+// Ablations runs the variant comparison. Every variant (in both the
+// all-to-all and the saturated validation scenario) is an independent
+// simulation point, so all of them fan out on the pool at once.
 func Ablations(o Options) *AblationResult {
 	res := &AblationResult{Load: 0.4, Variants: DefaultAblations()}
+
+	// The saturated validation scenario: 3 flows per path.
+	p := o.params()
+	res.ValFlows = 3 * p.PathsBetweenPods()
+	var size int64 = 50_000_000
+	if o.Scale == ScaleTiny {
+		size = 10_000_000
+	}
+	res.ValIdealMs = 3 * float64(size) * 8 / float64(p.LinkRateBps) * 1000
+
+	pool := o.pool()
+	type valOut struct{ mean, max float64 }
+	a2aFuts := make([]*runpool.Future[*runOutcome], len(res.Variants))
+	valFuts := make([]*runpool.Future[valOut], len(res.Variants))
+	for i, v := range res.Variants {
+		cfg := v.Cfg
+		a2aFuts[i] = runpool.Submit(pool, func() *runOutcome {
+			return o.runFlowBenderAllToAllRaw(cfg, res.Load)
+		})
+		valFuts[i] = runpool.Submit(pool, func() valOut {
+			rng := sim.NewRNG(o.Seed)
+			fb := cfg
+			if fb.RNG == nil {
+				fb.RNG = rng.Fork("flowbender")
+			}
+			set := FlowBender.setupRaw(rng.Fork("scheme"), fb, true)
+			mean, max := o.runValidationSetup(set, res.ValFlows, size)
+			return valOut{mean: mean, max: max}
+		})
+	}
+
 	var baseMean, baseP99 float64
 	for i, v := range res.Variants {
-		out := o.runFlowBenderAllToAllRaw(v.Cfg, res.Load)
+		out := a2aFuts[i].Wait()
 		mean := out.FCT.All().Mean()
 		p99 := out.FCT.All().Percentile(99)
 		if i == 0 {
@@ -73,26 +107,11 @@ func Ablations(o Options) *AblationResult {
 		res.Reroutes = append(res.Reroutes, out.Reroutes)
 		o.logf("ablation: %-24s mean=%.3gms reroutes=%d", v.Name, mean*1000, out.Reroutes)
 	}
-
-	// The saturated validation scenario: 3 flows per path.
-	p := o.params()
-	res.ValFlows = 3 * p.PathsBetweenPods()
-	var size int64 = 50_000_000
-	if o.Scale == ScaleTiny {
-		size = 10_000_000
-	}
-	res.ValIdealMs = 3 * float64(size) * 8 / float64(p.LinkRateBps) * 1000
-	for _, v := range res.Variants {
-		rng := sim.NewRNG(o.Seed)
-		fb := v.Cfg
-		if fb.RNG == nil {
-			fb.RNG = rng.Fork("flowbender")
-		}
-		set := FlowBender.setupRaw(rng.Fork("scheme"), fb, true)
-		mean, max := o.runValidationSetup(set, res.ValFlows, size)
-		res.ValMeanMs = append(res.ValMeanMs, mean)
-		res.ValMaxMs = append(res.ValMaxMs, max)
-		o.logf("ablation-validation: %-24s mean=%.1fms max=%.1fms", v.Name, mean, max)
+	for i, v := range res.Variants {
+		val := valFuts[i].Wait()
+		res.ValMeanMs = append(res.ValMeanMs, val.mean)
+		res.ValMaxMs = append(res.ValMaxMs, val.max)
+		o.logf("ablation-validation: %-24s mean=%.1fms max=%.1fms", v.Name, val.mean, val.max)
 	}
 	return res
 }

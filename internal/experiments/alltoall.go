@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"flowbender/internal/core"
+	"flowbender/internal/runpool"
 	"flowbender/internal/stats"
 )
 
@@ -13,13 +14,18 @@ import (
 var DefaultLoads = []float64{0.2, 0.4, 0.6}
 
 // AllToAllCell is one (load, scheme, size-bin) cell of Figures 3 and 4:
-// latency normalized to ECMP at the same load and bin.
+// latency normalized to ECMP at the same load and bin. With multi-seed
+// replication (Options.Seeds), the values are means across seeds and the
+// Std fields carry the across-seed standard deviation (each seed is
+// normalized against its own ECMP run before aggregating).
 type AllToAllCell struct {
-	MeanNorm float64
-	P99Norm  float64
-	MeanSec  float64
-	P99Sec   float64
-	N        int
+	MeanNorm    float64
+	P99Norm     float64
+	MeanNormStd float64
+	P99NormStd  float64
+	MeanSec     float64
+	P99Sec      float64
+	N           int
 }
 
 // AllToAllResult holds the all-to-all comparison that Figures 3 and 4 (and
@@ -29,55 +35,113 @@ type AllToAllResult struct {
 	Schemes []Scheme
 	// Cells[load][scheme][bin].
 	Cells map[float64]map[Scheme][stats.NumBins]AllToAllCell
-	// OOO[scheme] is the max over loads of the fraction of data packets
-	// arriving out of order.
+	// OOO[scheme] is the max over loads (and seeds) of the fraction of
+	// data packets arriving out of order.
 	OOO map[Scheme]float64
-	// Reroutes[load] counts FlowBender path changes at that load.
+	// Reroutes[load] counts FlowBender path changes at that load
+	// (averaged across seeds).
 	Reroutes map[float64]int64
 	// Incomplete flags any flows that failed to finish before MaxWait.
 	Incomplete int
+	// Seeds is the replication count the cells were aggregated over.
+	Seeds int
+}
+
+// a2aPoint identifies one independent simulation point of the sweep.
+type a2aPoint struct {
+	load   float64
+	scheme Scheme
+	rep    int
 }
 
 // AllToAll runs the §4.2.2 workload: heavy-tailed flow sizes, Poisson
 // arrivals, uniform random all-to-all traffic at each load, for every
-// scheme. Every scheme sees the identical flow arrival sequence.
+// scheme. Every scheme sees the identical flow arrival sequence. The
+// (load, scheme, seed) points are independent simulations, so they fan out
+// across Options.Parallelism workers; outcomes are collected in submission
+// order, keeping the tables byte-identical at any parallelism.
 func AllToAll(o Options) *AllToAllResult {
+	reps := o.seeds()
 	res := &AllToAllResult{
 		Loads:    DefaultLoads,
 		Schemes:  AllSchemes,
 		Cells:    make(map[float64]map[Scheme][stats.NumBins]AllToAllCell),
 		OOO:      make(map[Scheme]float64),
 		Reroutes: make(map[float64]int64),
+		Seeds:    reps,
 	}
+	ecmpIdx := 0
+	for i, s := range res.Schemes {
+		if s == ECMP {
+			ecmpIdx = i
+		}
+	}
+
+	var points []a2aPoint
 	for _, load := range res.Loads {
-		perScheme := make(map[Scheme]*runOutcome)
 		for _, s := range res.Schemes {
-			out := o.runAllToAll(allToAllSpec{scheme: s, load: load, flows: o.flowCount(), srcTor: -1})
-			perScheme[s] = out
-			res.Incomplete += out.Incomplete
-			if f := out.OOOFraction(); f > res.OOO[s] {
-				res.OOO[s] = f
+			for rep := 0; rep < reps; rep++ {
+				points = append(points, a2aPoint{load: load, scheme: s, rep: rep})
+			}
+		}
+	}
+	outs := runpool.Map(o.pool(), points, func(pt a2aPoint) *runOutcome {
+		oo := o
+		oo.Seed = o.seedAt(pt.rep)
+		return oo.runAllToAll(allToAllSpec{scheme: pt.scheme, load: pt.load, flows: o.flowCount(), srcTor: -1})
+	})
+	idx := func(li, si, rep int) int { return (li*len(res.Schemes)+si)*reps + rep }
+
+	for li, load := range res.Loads {
+		for si, s := range res.Schemes {
+			var reroutes int64
+			for rep := 0; rep < reps; rep++ {
+				out := outs[idx(li, si, rep)]
+				res.Incomplete += out.Incomplete
+				if f := out.OOOFraction(); f > res.OOO[s] {
+					res.OOO[s] = f
+				}
+				reroutes += out.Reroutes
+				seedTag := ""
+				if reps > 1 {
+					seedTag = fmt.Sprintf(" seed=%d", o.seedAt(rep))
+				}
+				o.logf("all-to-all: load=%.0f%% %s%s mean=%.3gms p99=%.3gms ooo=%.5f%% incomplete=%d",
+					load*100, s, seedTag, out.FCT.All().Mean()*1000,
+					out.FCT.All().Percentile(99)*1000, out.OOOFraction()*100, out.Incomplete)
 			}
 			if s == FlowBender {
-				res.Reroutes[load] = out.Reroutes
+				res.Reroutes[load] = reroutes / int64(reps)
 			}
-			o.logf("all-to-all: load=%.0f%% %s mean=%.3gms p99=%.3gms ooo=%.5f%% incomplete=%d",
-				load*100, s, perScheme[s].FCT.All().Mean()*1000,
-				perScheme[s].FCT.All().Percentile(99)*1000, out.OOOFraction()*100, out.Incomplete)
 		}
-		base := perScheme[ECMP]
 		cells := make(map[Scheme][stats.NumBins]AllToAllCell)
-		for _, s := range res.Schemes {
+		for si, s := range res.Schemes {
 			var row [stats.NumBins]AllToAllCell
 			for b := 0; b < int(stats.NumBins); b++ {
-				mine := &perScheme[s].FCT.Bins[b]
-				ref := &base.FCT.Bins[b]
+				means := make([]float64, 0, reps)
+				p99s := make([]float64, 0, reps)
+				meanNorms := make([]float64, 0, reps)
+				p99Norms := make([]float64, 0, reps)
+				n := 0
+				for rep := 0; rep < reps; rep++ {
+					mine := &outs[idx(li, si, rep)].FCT.Bins[b]
+					ref := &outs[idx(li, ecmpIdx, rep)].FCT.Bins[b]
+					means = append(means, mine.Mean())
+					p99s = append(p99s, mine.Percentile(99))
+					meanNorms = append(meanNorms, stats.Ratio(mine.Mean(), ref.Mean()))
+					p99Norms = append(p99Norms, stats.Ratio(mine.Percentile(99), ref.Percentile(99)))
+					n += mine.N()
+				}
+				mn := stats.Summarize(meanNorms)
+				pn := stats.Summarize(p99Norms)
 				row[b] = AllToAllCell{
-					MeanSec:  mine.Mean(),
-					P99Sec:   mine.Percentile(99),
-					MeanNorm: stats.Ratio(mine.Mean(), ref.Mean()),
-					P99Norm:  stats.Ratio(mine.Percentile(99), ref.Percentile(99)),
-					N:        mine.N(),
+					MeanSec:     stats.Summarize(means).Mean,
+					P99Sec:      stats.Summarize(p99s).Mean,
+					MeanNorm:    mn.Mean,
+					MeanNormStd: mn.Std,
+					P99Norm:     pn.Mean,
+					P99NormStd:  pn.Std,
+					N:           n,
 				}
 			}
 			cells[s] = row
@@ -91,10 +155,10 @@ func AllToAll(o Options) *AllToAllResult {
 // plus the §4.2.3 out-of-order summary.
 func (r *AllToAllResult) Print(w io.Writer) {
 	r.printFigure(w, "Figure 3: all-to-all MEAN latency normalized to ECMP (lower is better)",
-		func(c AllToAllCell) float64 { return c.MeanNorm })
+		func(c AllToAllCell) (float64, float64) { return c.MeanNorm, c.MeanNormStd })
 	fmt.Fprintln(w)
 	r.printFigure(w, "Figure 4: all-to-all 99th-PERCENTILE latency normalized to ECMP (lower is better)",
-		func(c AllToAllCell) float64 { return c.P99Norm })
+		func(c AllToAllCell) (float64, float64) { return c.P99Norm, c.P99NormStd })
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "Out-of-order data packets (fraction of all data packets, max across loads; §4.2.3):")
 	for _, s := range r.Schemes {
@@ -102,8 +166,11 @@ func (r *AllToAllResult) Print(w io.Writer) {
 	}
 }
 
-func (r *AllToAllResult) printFigure(w io.Writer, title string, get func(AllToAllCell) float64) {
+func (r *AllToAllResult) printFigure(w io.Writer, title string, get func(AllToAllCell) (val, std float64)) {
 	fmt.Fprintln(w, title)
+	if r.Seeds > 1 {
+		fmt.Fprintf(w, "(mean ± stddev over %d seeds)\n", r.Seeds)
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprint(tw, "load\tscheme")
 	for b := 0; b < int(stats.NumBins); b++ {
@@ -118,7 +185,12 @@ func (r *AllToAllResult) printFigure(w io.Writer, title string, get func(AllToAl
 			fmt.Fprintf(tw, "%.0f%%\t%s", load*100, s)
 			cells := r.Cells[load][s]
 			for b := 0; b < int(stats.NumBins); b++ {
-				fmt.Fprintf(tw, "\t%.2f", get(cells[b]))
+				v, std := get(cells[b])
+				if r.Seeds > 1 {
+					fmt.Fprintf(tw, "\t%.2f±%.2f", v, std)
+				} else {
+					fmt.Fprintf(tw, "\t%.2f", v)
+				}
 			}
 			fmt.Fprintln(tw)
 		}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flowbender/internal/stats"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file instead when -update is set. The golden files pin the exact table
+// layout so formatting drift (tabwriter widths, ± rendering, header text)
+// is a reviewed diff, not a silent change.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- want ---\n%s\n--- got ---\n%s", path, want, got)
+	}
+}
+
+// fixedAllToAll builds a fully deterministic AllToAllResult with
+// recognizable values: cell (load, scheme, bin) encodes its coordinates.
+func fixedAllToAll(seeds int) *AllToAllResult {
+	res := &AllToAllResult{
+		Loads:    DefaultLoads,
+		Schemes:  AllSchemes,
+		Cells:    make(map[float64]map[Scheme][stats.NumBins]AllToAllCell),
+		OOO:      map[Scheme]float64{ECMP: 0.0000123, FlowBender: 0.000345, RPS: 0.0456, DeTail: 0.0078},
+		Reroutes: map[float64]int64{0.2: 12, 0.4: 34, 0.6: 56},
+		Seeds:    seeds,
+	}
+	for li, load := range res.Loads {
+		cells := make(map[Scheme][stats.NumBins]AllToAllCell)
+		for si, s := range res.Schemes {
+			var row [stats.NumBins]AllToAllCell
+			for b := 0; b < int(stats.NumBins); b++ {
+				row[b] = AllToAllCell{
+					MeanNorm:    1 - 0.1*float64(si) + 0.01*float64(li) + 0.001*float64(b),
+					P99Norm:     1 - 0.2*float64(si) + 0.02*float64(li) + 0.002*float64(b),
+					MeanNormStd: 0.01 * float64(si+1),
+					P99NormStd:  0.02 * float64(si+1),
+					N:           100,
+				}
+			}
+			cells[s] = row
+		}
+		res.Cells[load] = cells
+	}
+	return res
+}
+
+func TestGoldenAllToAllPrint(t *testing.T) {
+	var buf bytes.Buffer
+	fixedAllToAll(1).Print(&buf)
+	checkGolden(t, "alltoall", buf.String())
+}
+
+func TestGoldenAllToAllPrintMultiSeed(t *testing.T) {
+	var buf bytes.Buffer
+	fixedAllToAll(3).Print(&buf)
+	checkGolden(t, "alltoall_seeds", buf.String())
+}
+
+func fixedTable1(seeds int) *Table1Result {
+	return &Table1Result{
+		FlowBytes: 50_000_000,
+		Paths:     4,
+		Seeds:     seeds,
+		Rows: []Table1Row{
+			{Flows: 4, ECMPMeanMs: 812, ECMPMaxMs: 1530, FBMeanMs: 462, FBMaxMs: 497,
+				ECMPMeanStdMs: 41, FBMeanStdMs: 9, IdealMs: 400,
+				ECMPMaxOverMean: 1.88, FBMaxOverMean: 1.08},
+			{Flows: 8, ECMPMeanMs: 1420, ECMPMaxMs: 2410, FBMeanMs: 841, FBMaxMs: 902,
+				ECMPMeanStdMs: 66, FBMeanStdMs: 12, IdealMs: 800,
+				ECMPMaxOverMean: 1.70, FBMaxOverMean: 1.07},
+			{Flows: 12, ECMPMeanMs: 1980, ECMPMaxMs: 3100, FBMeanMs: 1265, FBMaxMs: 1388,
+				ECMPMeanStdMs: 90, FBMeanStdMs: 21, IdealMs: 1200,
+				ECMPMaxOverMean: 1.57, FBMaxOverMean: 1.10},
+		},
+	}
+}
+
+func TestGoldenTable1Print(t *testing.T) {
+	var buf bytes.Buffer
+	fixedTable1(0).Print(&buf)
+	checkGolden(t, "table1", buf.String())
+}
+
+func TestGoldenTable1PrintMultiSeed(t *testing.T) {
+	var buf bytes.Buffer
+	fixedTable1(5).Print(&buf)
+	checkGolden(t, "table1_seeds", buf.String())
+}

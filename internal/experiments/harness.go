@@ -126,6 +126,9 @@ func (o Options) runAllToAll(spec allToAllSpec) *runOutcome {
 
 	cdf := spec.cdf
 	if cdf == nil {
+		cdf = o.CDF
+	}
+	if cdf == nil {
 		cdf = workload.WebSearchCDF()
 	}
 	gen := &workload.AllToAll{

@@ -6,6 +6,7 @@ import (
 
 	"flowbender/internal/core"
 	"flowbender/internal/netsim"
+	"flowbender/internal/runpool"
 	"flowbender/internal/sim"
 	"flowbender/internal/tcp"
 	"flowbender/internal/topo"
@@ -30,7 +31,16 @@ type HotspotResult struct {
 	UDPDelivered map[Scheme]float64
 }
 
-// Hotspot runs the decongestion experiment for ECMP and FlowBender.
+// hotspotOut is one scheme's measurement.
+type hotspotOut struct {
+	paths        int
+	tcpOnU       float64
+	perLink      []float64
+	udpDelivered float64
+}
+
+// Hotspot runs the decongestion experiment for ECMP and FlowBender; the
+// two scheme runs are independent and execute in parallel on the pool.
 func Hotspot(o Options) *HotspotResult {
 	res := &HotspotResult{
 		UDPGbps:      6,
@@ -39,13 +49,23 @@ func Hotspot(o Options) *HotspotResult {
 		PerLink:      make(map[Scheme][]float64),
 		UDPDelivered: make(map[Scheme]float64),
 	}
-	for _, scheme := range []Scheme{ECMP, FlowBender} {
-		res.runOne(o, scheme)
+	schemes := []Scheme{ECMP, FlowBender}
+	outs := runpool.Map(o.pool(), schemes, func(s Scheme) hotspotOut {
+		return o.runHotspot(s)
+	})
+	for i, scheme := range schemes {
+		out := outs[i]
+		res.Paths = out.paths
+		res.TCPOnU[scheme] = out.tcpOnU
+		res.PerLink[scheme] = out.perLink
+		res.UDPDelivered[scheme] = out.udpDelivered
+		o.logf("hotspot: %s tcpOnU=%.2fGbps perLink=%v udpDelivered=%.3f",
+			scheme, out.tcpOnU, out.perLink, out.udpDelivered)
 	}
 	return res
 }
 
-func (r *HotspotResult) runOne(o Options, scheme Scheme) {
+func (o Options) runHotspot(scheme Scheme) hotspotOut {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(o.Seed)
 	set := scheme.setup(rng.Fork("scheme"), core.Config{})
@@ -54,7 +74,7 @@ func (r *HotspotResult) runOne(o Options, scheme Scheme) {
 	lp.PFC = set.pfc
 	ls := topo.NewLeafSpine(eng, lp)
 	ls.SetSelector(set.sel)
-	r.Paths = lp.Spines
+	out := hotspotOut{paths: lp.Spines}
 
 	srcIdx := ls.TorHosts(0)
 	dstIdx := ls.TorHosts(1)
@@ -119,13 +139,12 @@ func (r *HotspotResult) runOne(o Options, scheme Scheme) {
 			uBytes, uIdx = dUDP, i
 		}
 	}
-	r.PerLink[scheme] = perLink
-	r.TCPOnU[scheme] = perLink[uIdx]
+	out.perLink = perLink
+	out.tcpOnU = perLink[uIdx]
 	if udpSender.Sent > 0 {
-		r.UDPDelivered[scheme] = float64(sink.Packets) / float64(udpSender.Sent)
+		out.udpDelivered = float64(sink.Packets) / float64(udpSender.Sent)
 	}
-	o.logf("hotspot: %s tcpOnU=%.2fGbps perLink=%v udpDelivered=%.3f",
-		scheme, r.TCPOnU[scheme], perLink, r.UDPDelivered[scheme])
+	return out
 }
 
 // Print writes the hotspot summary.

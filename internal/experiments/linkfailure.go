@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"flowbender/internal/core"
+	"flowbender/internal/runpool"
 	"flowbender/internal/sim"
 	"flowbender/internal/stats"
 	"flowbender/internal/tcp"
@@ -35,9 +36,19 @@ type LinkFailureResult struct {
 	MeanUnaffectedFCTms map[Scheme]float64
 }
 
+// linkFailureOut is one scheme's measurement.
+type linkFailureOut struct {
+	total            int
+	completed        int
+	affected         int
+	meanAffectedMs   float64
+	meanUnaffectedMs float64
+}
+
 // LinkFailure starts one long flow per source host from pod 0 to pod 1,
 // fails one aggregation-to-core cable shortly after, and compares ECMP's
-// and FlowBender's ability to finish the transfers.
+// and FlowBender's ability to finish the transfers. The two scheme runs
+// execute in parallel on the pool.
 func LinkFailure(o Options) *LinkFailureResult {
 	res := &LinkFailureResult{
 		FlowBytes: 10_000_000,
@@ -50,13 +61,26 @@ func LinkFailure(o Options) *LinkFailureResult {
 		MeanAffectedFCTms:   make(map[Scheme]float64),
 		MeanUnaffectedFCTms: make(map[Scheme]float64),
 	}
-	for _, scheme := range []Scheme{ECMP, FlowBender} {
-		res.runOne(o, scheme)
+	schemes := []Scheme{ECMP, FlowBender}
+	outs := runpool.Map(o.pool(), schemes, func(s Scheme) linkFailureOut {
+		return res.runOne(o, s)
+	})
+	for i, scheme := range schemes {
+		out := outs[i]
+		res.Total = out.total
+		res.Completed[scheme] = out.completed
+		res.Affected[scheme] = out.affected
+		res.MeanAffectedFCTms[scheme] = out.meanAffectedMs
+		res.MeanUnaffectedFCTms[scheme] = out.meanUnaffectedMs
+		o.logf("linkfailure: %s completed=%d/%d affected=%d meanAffectedFCT=%.1fms",
+			scheme, out.completed, out.total, out.affected, out.meanAffectedMs)
 	}
 	return res
 }
 
-func (r *LinkFailureResult) runOne(o Options, scheme Scheme) {
+// runOne runs one scheme; it only reads the result's scenario constants
+// (FlowBytes, FailAt, Deadline), never writes, so parallel calls are safe.
+func (r *LinkFailureResult) runOne(o Options, scheme Scheme) linkFailureOut {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(o.Seed)
 	set := scheme.setup(rng.Fork("scheme"), core.Config{})
@@ -77,7 +101,7 @@ func (r *LinkFailureResult) runOne(o Options, scheme Scheme) {
 		dst := ft.Hosts[perPod+i]
 		flows = append(flows, tcp.StartFlow(eng, set.cfg, ids.Next(), src, dst, r.FlowBytes))
 	}
-	r.Total = len(flows)
+	out := linkFailureOut{total: len(flows)}
 
 	// Cut the first aggregation switch's first core uplink in pod 0.
 	eng.At(r.FailAt, func() { ft.AggCoreLinks[0][0][0].Fail() })
@@ -85,14 +109,13 @@ func (r *LinkFailureResult) runOne(o Options, scheme Scheme) {
 	drain(eng, r.Deadline, allFlowsDone(flows))
 
 	var affected, unaffected stats.Sample
-	done := 0
 	for _, f := range flows {
 		hadTimeout := f.Sender().Timeouts > 0
 		if hadTimeout {
-			r.Affected[scheme]++
+			out.affected++
 		}
 		if f.Done() {
-			done++
+			out.completed++
 			if hadTimeout {
 				affected.Add(f.FCT().Seconds() * 1000)
 			} else {
@@ -100,11 +123,9 @@ func (r *LinkFailureResult) runOne(o Options, scheme Scheme) {
 			}
 		}
 	}
-	r.Completed[scheme] = done
-	r.MeanAffectedFCTms[scheme] = affected.Mean()
-	r.MeanUnaffectedFCTms[scheme] = unaffected.Mean()
-	o.logf("linkfailure: %s completed=%d/%d affected=%d meanAffectedFCT=%.1fms",
-		scheme, done, r.Total, r.Affected[scheme], affected.Mean())
+	out.meanAffectedMs = affected.Mean()
+	out.meanUnaffectedMs = unaffected.Mean()
+	return out
 }
 
 // ms formats a millisecond value, rendering NaN (no samples) as "n/a".

@@ -3,8 +3,10 @@ package experiments
 import (
 	"io"
 
+	"flowbender/internal/runpool"
 	"flowbender/internal/sim"
 	"flowbender/internal/topo"
+	"flowbender/internal/workload"
 )
 
 // ScaleLevel selects the fabric size and sample counts of a run.
@@ -53,6 +55,28 @@ type Options struct {
 	// Repeats averages micro-benchmarks (Table 1) over this many seeds;
 	// 0 picks a scale-appropriate default (3 below paper scale, 1 at it).
 	Repeats int
+
+	// Parallelism bounds how many independent simulation points run
+	// concurrently. Each point is an isolated sim.Engine with its own
+	// forked RNG, and outcomes are collected in submission order, so
+	// results are byte-identical for every value of this field. 0 means
+	// GOMAXPROCS; 1 is fully sequential.
+	Parallelism int
+
+	// Seeds replicates each measured point over this many seeds (Seed,
+	// Seed+1000, Seed+2000, ...) and reports mean ± stddev where the
+	// experiment supports it (all-to-all, sensitivity, partition-
+	// aggregate; Table 1 folds it into Repeats). 0 or 1 runs one seed.
+	Seeds int
+
+	// CDF overrides the flow-size distribution of the all-to-all
+	// workloads (nil = the paper's web-search CDF). Load with
+	// workload.ParseCDF to run external distributions.
+	CDF workload.CDF
+
+	// sharedPool, when non-nil, is used instead of a fresh pool so that
+	// RunAll can bound concurrency across experiments with one limit.
+	sharedPool *runpool.Pool
 }
 
 // DefaultOptions returns the defaults used by the benchmark harness.
@@ -103,10 +127,37 @@ func (o Options) repeats() int {
 	if o.Repeats > 0 {
 		return o.Repeats
 	}
+	if o.Seeds > 1 {
+		return o.Seeds
+	}
 	if o.Scale == ScalePaper {
 		return 1
 	}
 	return 3
+}
+
+// seeds is the replication count for experiments that support Options.Seeds.
+func (o Options) seeds() int {
+	if o.Seeds > 1 {
+		return o.Seeds
+	}
+	return 1
+}
+
+// seedAt returns the seed of replicate rep (rep 0 = the base seed). The
+// stride keeps replicate streams far apart and matches Table 1's historical
+// Seed+1000r convention.
+func (o Options) seedAt(rep int) int64 {
+	return o.Seed + int64(rep)*1000
+}
+
+// pool returns the worker pool simulation points fan out on: the shared
+// pool inside RunAll, otherwise a fresh one sized by Parallelism.
+func (o Options) pool() *runpool.Pool {
+	if o.sharedPool != nil {
+		return o.sharedPool
+	}
+	return runpool.New(o.Parallelism)
 }
 
 func (o Options) maxWait() sim.Time {

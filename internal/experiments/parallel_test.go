@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderAllToAll runs the all-to-all experiment and returns its printed
+// tables, the artifact whose bytes must not depend on scheduling.
+func renderAllToAll(o Options) string {
+	var buf bytes.Buffer
+	AllToAll(o).Print(&buf)
+	return buf.String()
+}
+
+// TestParallelDeterminism locks in the runpool contract: the same seed
+// produces byte-identical printed results at parallelism 1 and 8, and two
+// sequential runs are byte-identical to each other (the sim package's
+// event-ordering contract).
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := Options{Seed: 7, Scale: ScaleTiny, FlowCount: 40, Repeats: 1}
+
+	o.Parallelism = 1
+	seq := renderAllToAll(o)
+	seq2 := renderAllToAll(o)
+	if seq != seq2 {
+		t.Fatalf("two sequential runs diverged:\n--- first ---\n%s\n--- second ---\n%s", seq, seq2)
+	}
+
+	o.Parallelism = 8
+	par := renderAllToAll(o)
+	if par != seq {
+		t.Fatalf("parallel (P=8) output differs from sequential (P=1):\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestParallelDeterminismMultiSeed repeats the check with Options.Seeds
+// replication, where aggregation order across seeds could otherwise leak
+// scheduling into the mean ± stddev cells.
+func TestParallelDeterminismMultiSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := Options{Seed: 7, Scale: ScaleTiny, FlowCount: 30, Seeds: 2}
+
+	o.Parallelism = 1
+	seq := renderAllToAll(o)
+	o.Parallelism = 8
+	par := renderAllToAll(o)
+	if par != seq {
+		t.Fatalf("multi-seed parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestSeedsChangeResults is the sanity inverse: different seeds must
+// actually produce different measurements (otherwise the replication knob
+// silently aggregates one sample).
+func TestSeedsChangeResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	a := Options{Seed: 1, Scale: ScaleTiny, FlowCount: 40, Parallelism: 2}
+	b := a
+	b.Seed = 99
+	if renderAllToAll(a) == renderAllToAll(b) {
+		t.Fatal("seed 1 and seed 99 printed identical results")
+	}
+}

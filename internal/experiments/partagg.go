@@ -7,6 +7,7 @@ import (
 
 	"flowbender/internal/core"
 	"flowbender/internal/netsim"
+	"flowbender/internal/runpool"
 	"flowbender/internal/sim"
 	"flowbender/internal/stats"
 	"flowbender/internal/tcp"
@@ -25,36 +26,74 @@ type PartAggResult struct {
 	Schemes []Scheme
 	// NormJCT[fanin][scheme]: average job completion normalized to ECMP.
 	NormJCT map[int]map[Scheme]float64
-	// AbsJCTms[fanin][scheme]: absolute average job completion in ms.
+	// AbsJCTms[fanin][scheme]: absolute average job completion in ms
+	// (mean across seeds).
 	AbsJCTms map[int]map[Scheme]float64
+	// JCTStdMs[fanin][scheme]: across-seed stddev of the average job
+	// completion (0 with one seed).
+	JCTStdMs map[int]map[Scheme]float64
 	Load     float64
 	JobBytes int64
+	// Seeds is the replication count the averages were aggregated over.
+	Seeds int
 }
 
 // PartitionAggregate runs the §4.2.4 incast workload: 1 MB transactions
 // split evenly across n workers, arriving as a Poisson process at 40% load.
+// The (fan-in, scheme, seed) points fan out across Options.Parallelism
+// workers.
 func PartitionAggregate(o Options) *PartAggResult {
+	reps := o.seeds()
 	res := &PartAggResult{
 		FanIns:   DefaultFanIns,
 		Schemes:  AllSchemes,
 		NormJCT:  make(map[int]map[Scheme]float64),
 		AbsJCTms: make(map[int]map[Scheme]float64),
+		JCTStdMs: make(map[int]map[Scheme]float64),
 		Load:     0.4,
 		JobBytes: 1_000_000,
+		Seeds:    reps,
 	}
+	type point struct {
+		fanIn  int
+		scheme Scheme
+		rep    int
+	}
+	var points []point
 	for _, fanIn := range res.FanIns {
+		for _, s := range res.Schemes {
+			for rep := 0; rep < reps; rep++ {
+				points = append(points, point{fanIn: fanIn, scheme: s, rep: rep})
+			}
+		}
+	}
+	outs := runpool.Map(o.pool(), points, func(pt point) float64 {
+		oo := o
+		oo.Seed = o.seedAt(pt.rep)
+		return oo.runPartAgg(pt.scheme, pt.fanIn, res.Load, res.JobBytes)
+	})
+	idx := func(fi, si, rep int) int { return (fi*len(res.Schemes)+si)*reps + rep }
+
+	for fi, fanIn := range res.FanIns {
 		norm := make(map[Scheme]float64)
 		abs := make(map[Scheme]float64)
-		for _, s := range res.Schemes {
-			jct := o.runPartAgg(s, fanIn, res.Load, res.JobBytes)
-			abs[s] = jct * 1000
-			o.logf("part-agg: fanin=%d %s avgJCT=%.3gms", fanIn, s, jct*1000)
+		std := make(map[Scheme]float64)
+		for si, s := range res.Schemes {
+			jcts := make([]float64, reps)
+			for rep := 0; rep < reps; rep++ {
+				jcts[rep] = outs[idx(fi, si, rep)]
+			}
+			agg := stats.Summarize(jcts)
+			abs[s] = agg.Mean * 1000
+			std[s] = agg.Std * 1000
+			o.logf("part-agg: fanin=%d %s avgJCT=%.3gms", fanIn, s, agg.Mean*1000)
 		}
 		for _, s := range res.Schemes {
 			norm[s] = stats.Ratio(abs[s], abs[ECMP])
 		}
 		res.NormJCT[fanIn] = norm
 		res.AbsJCTms[fanIn] = abs
+		res.JCTStdMs[fanIn] = std
 	}
 	return res
 }

@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"sync"
+
+	"flowbender/internal/runpool"
 )
 
 // Printable is implemented by every experiment result.
@@ -52,11 +56,44 @@ func Lookup(name string) (func(Options) Printable, bool) {
 	return nil, false
 }
 
-// RunAll executes every registered experiment and prints each result to w.
+// syncWriter serializes concurrent writes to one underlying writer, so
+// progress logs from experiments running in parallel don't interleave
+// mid-line (their order across experiments is scheduling-dependent; the
+// result tables are not).
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// RunAll executes every registered experiment and prints each result to w
+// in registry order. All experiments run concurrently, sharing one worker
+// pool bounded by Options.Parallelism, so total simulation concurrency
+// stays bounded; each experiment's output is buffered and emitted in
+// order, byte-identical to a sequential run.
 func RunAll(o Options, w io.Writer) {
-	for _, e := range Registry {
+	o.sharedPool = runpool.New(o.Parallelism)
+	if o.Log != nil {
+		o.Log = &syncWriter{w: o.Log}
+	}
+	bufs := make([]bytes.Buffer, len(Registry))
+	var wg sync.WaitGroup
+	for i, e := range Registry {
+		wg.Add(1)
+		go func(i int, run func(Options) Printable) {
+			defer wg.Done()
+			run(o).Print(&bufs[i])
+		}(i, e.Run)
+	}
+	wg.Wait()
+	for i, e := range Registry {
 		fmt.Fprintf(w, "==== %s — %s ====\n", e.Name, e.Desc)
-		e.Run(o).Print(w)
+		_, _ = bufs[i].WriteTo(w)
 		fmt.Fprintln(w)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"flowbender/internal/core"
+	"flowbender/internal/runpool"
 	"flowbender/internal/stats"
 )
 
@@ -20,7 +21,12 @@ type SensitivityResult struct {
 	Norm []float64
 	// AbsMs[i] is the absolute mean latency in ms.
 	AbsMs []float64
+	// StdMs[i] is the across-seed stddev of the mean latency (0 with one
+	// seed).
+	StdMs []float64
 	Load  float64
+	// Seeds is the replication count the sweep was aggregated over.
+	Seeds int
 }
 
 // SensitivityN reproduces Figure 6: FlowBender with N in {1,2,3,4} on the
@@ -40,15 +46,36 @@ func SensitivityT(o Options) *SensitivityResult {
 }
 
 func (r *SensitivityResult) run(o Options, cfgOf func(v float64) core.Config) {
-	abs := make([]float64, len(r.Values))
-	var def float64
-	for i, v := range r.Values {
-		out := o.runFlowBenderAllToAll(cfgOf(v), r.Load)
-		abs[i] = out.FCT.All().Mean()
-		if v == r.Default {
-			def = abs[i]
+	// Every (value, seed) pair is an independent simulation point.
+	reps := o.seeds()
+	r.Seeds = reps
+	type point struct {
+		vi  int
+		rep int
+	}
+	var points []point
+	for vi := range r.Values {
+		for rep := 0; rep < reps; rep++ {
+			points = append(points, point{vi: vi, rep: rep})
 		}
-		o.logf("sensitivity %s=%v: mean=%.3gms", r.Param, v, abs[i]*1000)
+	}
+	outs := runpool.Map(o.pool(), points, func(pt point) float64 {
+		oo := o
+		oo.Seed = o.seedAt(pt.rep)
+		return oo.runFlowBenderAllToAll(cfgOf(r.Values[pt.vi]), r.Load).FCT.All().Mean()
+	})
+
+	abs := make([]float64, len(r.Values))
+	r.StdMs = make([]float64, len(r.Values))
+	var def float64
+	for vi, v := range r.Values {
+		s := stats.Summarize(outs[vi*reps : (vi+1)*reps])
+		abs[vi] = s.Mean
+		r.StdMs[vi] = s.Std * 1000
+		if v == r.Default {
+			def = abs[vi]
+		}
+		o.logf("sensitivity %s=%v: mean=%.3gms", r.Param, v, abs[vi]*1000)
 	}
 	r.AbsMs = make([]float64, len(abs))
 	r.Norm = make([]float64, len(abs))
@@ -67,13 +94,21 @@ func (r *SensitivityResult) Print(w io.Writer) {
 	fmt.Fprintf(w, "%s: FlowBender sensitivity to %s (mean latency normalized to default %v, load %.0f%%)\n",
 		fig, r.Param, r.Default, r.Load*100)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "%s\tnormalized mean\tabs mean (ms)\n", r.Param)
+	if r.Seeds > 1 {
+		fmt.Fprintf(tw, "%s\tnormalized mean\tabs mean (ms)\tstddev over %d seeds (ms)\n", r.Param, r.Seeds)
+	} else {
+		fmt.Fprintf(tw, "%s\tnormalized mean\tabs mean (ms)\n", r.Param)
+	}
 	for i, v := range r.Values {
 		label := fmt.Sprintf("%g", v)
 		if r.Param == "T" {
 			label = fmt.Sprintf("%g%%", v*100)
 		}
-		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\n", label, r.Norm[i], r.AbsMs[i])
+		if r.Seeds > 1 {
+			fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\n", label, r.Norm[i], r.AbsMs[i], r.StdMs[i])
+		} else {
+			fmt.Fprintf(tw, "%s\t%.3f\t%.3f\n", label, r.Norm[i], r.AbsMs[i])
+		}
 	}
 	tw.Flush()
 }

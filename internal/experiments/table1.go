@@ -7,6 +7,7 @@ import (
 
 	"flowbender/internal/core"
 	"flowbender/internal/netsim"
+	"flowbender/internal/runpool"
 	"flowbender/internal/sim"
 	"flowbender/internal/stats"
 	"flowbender/internal/tcp"
@@ -16,13 +17,16 @@ import (
 
 // Table1Row is one row of the paper's Table 1: mean and max completion time
 // (ms) of k simultaneous equal-size ToR-to-ToR flows, under ECMP and
-// FlowBender.
+// FlowBender. The values are means over the run's replicate seeds; the Std
+// fields carry the across-seed standard deviation of the per-seed means.
 type Table1Row struct {
 	Flows           int
 	ECMPMeanMs      float64
 	ECMPMaxMs       float64
 	FBMeanMs        float64
 	FBMaxMs         float64
+	ECMPMeanStdMs   float64
+	FBMeanStdMs     float64
 	IdealMs         float64 // k/P * size / rate: perfect balance, instant convergence
 	ECMPMaxOverMean float64
 	FBMaxOverMean   float64
@@ -33,6 +37,9 @@ type Table1Result struct {
 	FlowBytes int64
 	Paths     int
 	Rows      []Table1Row
+	// Seeds is non-zero when Options.Seeds requested explicit multi-seed
+	// replication; Print then renders mean ± stddev.
+	Seeds int
 }
 
 // Table1 runs the validation microbenchmark: k ∈ FlowCounts simultaneous
@@ -54,27 +61,52 @@ func Table1(o Options) *Table1Result {
 	}
 	counts := []int{1 * paths, 2 * paths, 3 * paths}
 
-	res := &Table1Result{FlowBytes: size, Paths: paths}
+	// Micro-benchmarks with a handful of flows are dominated by the luck
+	// of the hash draw, so average the mean and max over several seeds
+	// below paper scale. Every (k, scheme, seed) triple is an isolated
+	// simulation; fan them all out on the pool and aggregate in order.
+	type t1Point struct {
+		k      int
+		scheme Scheme
+		rep    int
+	}
+	reps := o.repeats()
+	schemes := []Scheme{ECMP, FlowBender}
+	var points []t1Point
 	for _, k := range counts {
+		for _, scheme := range schemes {
+			for r := 0; r < reps; r++ {
+				points = append(points, t1Point{k: k, scheme: scheme, rep: r})
+			}
+		}
+	}
+	type t1Out struct{ meanMs, maxMs float64 }
+	outs := runpool.Map(o.pool(), points, func(pt t1Point) t1Out {
+		oo := o
+		oo.Seed = o.seedAt(pt.rep)
+		m, x := oo.runValidation(pt.scheme, pt.k, size)
+		return t1Out{meanMs: m, maxMs: x}
+	})
+	idx := func(ki, si, rep int) int { return (ki*len(schemes)+si)*reps + rep }
+
+	res := &Table1Result{FlowBytes: size, Paths: paths, Seeds: o.Seeds}
+	for ki, k := range counts {
 		row := Table1Row{Flows: k}
 		row.IdealMs = float64(k) / float64(paths) * float64(size) * 8 / float64(p.LinkRateBps) * 1000
-		for _, scheme := range []Scheme{ECMP, FlowBender} {
-			// Micro-benchmarks with a handful of flows are dominated by the
-			// luck of the hash draw, so average the mean and max over
-			// several seeds below paper scale.
+		for si, scheme := range schemes {
+			means := make([]float64, reps)
 			var mean, max float64
-			reps := o.repeats()
 			for r := 0; r < reps; r++ {
-				oo := o
-				oo.Seed = o.Seed + int64(r)*1000
-				m, x := oo.runValidation(scheme, k, size)
-				mean += m / float64(reps)
-				max += x / float64(reps)
+				out := outs[idx(ki, si, r)]
+				means[r] = out.meanMs
+				mean += out.meanMs / float64(reps)
+				max += out.maxMs / float64(reps)
 			}
+			std := stats.Summarize(means).Std
 			if scheme == ECMP {
-				row.ECMPMeanMs, row.ECMPMaxMs = mean, max
+				row.ECMPMeanMs, row.ECMPMaxMs, row.ECMPMeanStdMs = mean, max, std
 			} else {
-				row.FBMeanMs, row.FBMaxMs = mean, max
+				row.FBMeanMs, row.FBMaxMs, row.FBMeanStdMs = mean, max, std
 			}
 			o.logf("table1: %s k=%d mean=%.1fms max=%.1fms", scheme, k, mean, max)
 		}
@@ -122,11 +154,20 @@ func (o Options) runValidationSetup(set schemeSetup, k int, size int64) (meanMs,
 func (r *Table1Result) Print(w io.Writer) {
 	fmt.Fprintf(w, "Table 1: flow completion times, %d MB ToR-to-ToR flows, %d paths\n",
 		r.FlowBytes/1_000_000, r.Paths)
+	if r.Seeds > 1 {
+		fmt.Fprintf(w, "(means ± stddev over %d seeds)\n", r.Seeds)
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Flows\tECMP mean (ms)\tECMP max (ms)\tFlowBender mean (ms)\tFlowBender max (ms)\tideal (ms)")
 	for _, row := range r.Rows {
-		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
-			row.Flows, row.ECMPMeanMs, row.ECMPMaxMs, row.FBMeanMs, row.FBMaxMs, row.IdealMs)
+		if r.Seeds > 1 {
+			fmt.Fprintf(tw, "%d\t%.0f±%.0f\t%.0f\t%.0f±%.0f\t%.0f\t%.0f\n",
+				row.Flows, row.ECMPMeanMs, row.ECMPMeanStdMs, row.ECMPMaxMs,
+				row.FBMeanMs, row.FBMeanStdMs, row.FBMaxMs, row.IdealMs)
+		} else {
+			fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+				row.Flows, row.ECMPMeanMs, row.ECMPMaxMs, row.FBMeanMs, row.FBMaxMs, row.IdealMs)
+		}
 	}
 	tw.Flush()
 	for _, row := range r.Rows {

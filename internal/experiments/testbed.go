@@ -7,6 +7,7 @@ import (
 
 	"flowbender/internal/core"
 	"flowbender/internal/netsim"
+	"flowbender/internal/runpool"
 	"flowbender/internal/sim"
 	"flowbender/internal/stats"
 	"flowbender/internal/tcp"
@@ -46,11 +47,26 @@ func Testbed(o Options) *TestbedResult {
 		Spines:    lp.Spines,
 	}
 	flows := o.flowCount()
+	// Each (load, scheme) pair is an independent simulation point.
+	schemes := []Scheme{ECMP, FlowBender}
+	type point struct {
+		load   float64
+		scheme Scheme
+	}
+	var points []point
 	for _, load := range res.Loads {
+		for _, scheme := range schemes {
+			points = append(points, point{load: load, scheme: scheme})
+		}
+	}
+	outs := runpool.Map(o.pool(), points, func(pt point) [3]float64 {
+		s := o.runTestbed(lp, pt.scheme, pt.load, flows, res.FlowBytes)
+		return [3]float64{s.Mean(), s.Percentile(99), s.Percentile(99.9)}
+	})
+	for li, load := range res.Loads {
 		var vals [2][3]float64
-		for i, scheme := range []Scheme{ECMP, FlowBender} {
-			s := o.runTestbed(lp, scheme, load, flows, res.FlowBytes)
-			vals[i] = [3]float64{s.Mean(), s.Percentile(99), s.Percentile(99.9)}
+		for i, scheme := range schemes {
+			vals[i] = outs[li*len(schemes)+i]
 			o.logf("testbed: load=%.0f%% %s mean=%.3gms p99=%.3gms p99.9=%.3gms",
 				load*100, scheme, vals[i][0]*1000, vals[i][1]*1000, vals[i][2]*1000)
 		}

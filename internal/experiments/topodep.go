@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"flowbender/internal/runpool"
 	"flowbender/internal/stats"
 	"flowbender/internal/topo"
 )
@@ -48,11 +49,22 @@ func TopoDependence(o Options) *TopoDepResult {
 		}
 	}
 
-	for _, c := range configs {
+	// Each (fabric, scheme) pair is an independent simulation point.
+	type point struct {
+		ci     int
+		scheme Scheme
+	}
+	var points []point
+	for ci := range configs {
+		points = append(points, point{ci, ECMP}, point{ci, FlowBender})
+	}
+	outs := runpool.Map(o.pool(), points, func(pt point) float64 {
 		opt := o
-		opt.Scale = c.scale
-		ecmp := opt.runAllToAllOn(c.p, ECMP, res.Load)
-		fb := opt.runAllToAllOn(c.p, FlowBender, res.Load)
+		opt.Scale = configs[pt.ci].scale
+		return opt.runAllToAllOn(configs[pt.ci].p, pt.scheme, res.Load)
+	})
+	for ci, c := range configs {
+		ecmp, fb := outs[2*ci], outs[2*ci+1]
 		imp := stats.Ratio(ecmp, fb)
 		paths := c.p.PathsBetweenPods()
 		res.Paths = append(res.Paths, paths)

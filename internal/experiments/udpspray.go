@@ -8,6 +8,7 @@ import (
 	"flowbender/internal/core"
 	"flowbender/internal/netsim"
 	"flowbender/internal/routing"
+	"flowbender/internal/runpool"
 	"flowbender/internal/sim"
 	"flowbender/internal/topo"
 	"flowbender/internal/udp"
@@ -41,13 +42,17 @@ func UDPSpray(o Options) *UDPSprayResult {
 		{"spray per 64 KB burst", 64 * 1024},
 		{"spray per packet", 1},
 	}
-	res := &UDPSprayResult{}
-	for _, v := range variants {
+	res := &UDPSprayResult{Paths: topo.SmallTestbed().Spines}
+	// Each variant is an independent simulation point.
+	outs := runpool.Map(o.pool(), variants, func(v variant) [2]float64 {
 		maxShare, ooo := o.runUDPSpray(v.burst)
+		return [2]float64{maxShare, ooo}
+	})
+	for i, v := range variants {
 		res.Variants = append(res.Variants, v.name)
-		res.MaxShare = append(res.MaxShare, maxShare)
-		res.OOOFrac = append(res.OOOFrac, ooo)
-		o.logf("udpspray: %-24s maxShare=%.3f ooo=%.4f", v.name, maxShare, ooo)
+		res.MaxShare = append(res.MaxShare, outs[i][0])
+		res.OOOFrac = append(res.OOOFrac, outs[i][1])
+		o.logf("udpspray: %-24s maxShare=%.3f ooo=%.4f", v.name, outs[i][0], outs[i][1])
 	}
 	return res
 }
@@ -58,8 +63,6 @@ func (o Options) runUDPSpray(burst int64) (maxShare, oooFrac float64) {
 	lp := topo.SmallTestbed()
 	ls := topo.NewLeafSpine(eng, lp)
 	ls.SetSelector(routing.ECMP{})
-	res := &UDPSprayResult{}
-	res.Paths = lp.Spines
 
 	src := ls.Hosts[ls.TorHosts(0)[0]]
 	dst := ls.Hosts[ls.TorHosts(1)[0]]

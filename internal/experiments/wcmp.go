@@ -8,6 +8,7 @@ import (
 	"flowbender/internal/core"
 	"flowbender/internal/netsim"
 	"flowbender/internal/routing"
+	"flowbender/internal/runpool"
 	"flowbender/internal/sim"
 	"flowbender/internal/stats"
 	"flowbender/internal/tcp"
@@ -52,8 +53,13 @@ func WCMP(o Options) *WCMPResult {
 			{Name: "ECMP + FlowBender", FlowBender: true},
 		},
 	}
-	for _, v := range res.Variants {
+	// Each variant is an independent simulation point.
+	outs := runpool.Map(o.pool(), res.Variants, func(v WCMPVariant) [3]float64 {
 		mean, p99, share := o.runWCMP(v)
+		return [3]float64{mean, p99, share}
+	})
+	for i, v := range res.Variants {
+		mean, p99, share := outs[i][0], outs[i][1], outs[i][2]
 		res.MeanMs = append(res.MeanMs, mean*1000)
 		res.P99Ms = append(res.P99Ms, p99*1000)
 		res.ThinShare = append(res.ThinShare, share)

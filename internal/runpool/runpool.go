@@ -1,0 +1,111 @@
+// Package runpool fans independent tasks out across a bounded set of
+// goroutines and hands their results back in submission order.
+//
+// The experiment harness uses it to run simulation points — each an
+// isolated sim.Engine with its own forked RNG — in parallel without
+// perturbing output: because results are collected in the order tasks were
+// submitted, anything built from them (tables, normalizations, logs) is
+// byte-identical to a sequential run of the same points.
+//
+// Tasks submitted to a pool must not block waiting on other tasks in the
+// same pool: a task holds one of the pool's slots for its whole run, so
+// parent tasks waiting on children can exhaust the slots and deadlock.
+// Orchestration code that only submits and waits (like Map callers) runs
+// outside the pool and is safe.
+package runpool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool bounds how many submitted tasks run concurrently. Create one with
+// New; the zero value is not usable.
+type Pool struct {
+	sem chan struct{}
+}
+
+// New returns a pool that runs at most parallelism tasks at once.
+// parallelism <= 0 selects runtime.GOMAXPROCS(0); parallelism == 1 gives
+// fully sequential execution (tasks still run on their own goroutines, but
+// one at a time, in submission order).
+func New(parallelism int) *Pool {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, parallelism)}
+}
+
+// Parallelism returns the pool's concurrency bound.
+func (p *Pool) Parallelism() int { return cap(p.sem) }
+
+// result carries a task's return value or the value it panicked with.
+type result[T any] struct {
+	val     T
+	panicMsg any
+}
+
+// Future is the pending result of one submitted task.
+type Future[T any] struct {
+	once sync.Once
+	ch   chan result[T]
+	res  result[T]
+}
+
+// Submit schedules fn on the pool and returns a Future for its result. The
+// task starts as soon as a slot frees up; Submit itself never blocks.
+func Submit[T any](p *Pool, fn func() T) *Future[T] {
+	f := &Future[T]{ch: make(chan result[T], 1)}
+	go func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		defer func() {
+			if r := recover(); r != nil {
+				f.ch <- result[T]{panicMsg: r}
+			}
+		}()
+		f.ch <- result[T]{val: fn()}
+	}()
+	return f
+}
+
+// Wait blocks until the task finishes and returns its result. If the task
+// panicked, Wait re-panics with the same value in the caller's goroutine,
+// so a crashing simulation point fails the run just as it would have
+// sequentially. Wait may be called more than once.
+func (f *Future[T]) Wait() T {
+	f.once.Do(func() { f.res = <-f.ch })
+	if f.res.panicMsg != nil {
+		panic(f.res.panicMsg)
+	}
+	return f.res.val
+}
+
+// Map runs fn over every item concurrently (bounded by the pool) and
+// returns the results in item order, independent of scheduling.
+func Map[In, Out any](p *Pool, items []In, fn func(In) Out) []Out {
+	futs := make([]*Future[Out], len(items))
+	for i := range items {
+		it := items[i]
+		futs[i] = Submit(p, func() Out { return fn(it) })
+	}
+	out := make([]Out, len(items))
+	for i, f := range futs {
+		out[i] = f.Wait()
+	}
+	return out
+}
+
+// MapN runs fn(0..n-1) concurrently and returns the results in index order.
+func MapN[Out any](p *Pool, n int, fn func(int) Out) []Out {
+	futs := make([]*Future[Out], n)
+	for i := 0; i < n; i++ {
+		i := i
+		futs[i] = Submit(p, func() Out { return fn(i) })
+	}
+	out := make([]Out, n)
+	for i, f := range futs {
+		out[i] = f.Wait()
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package runpool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	p := New(8)
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	// Earlier items sleep longer, so completion order is roughly reversed;
+	// the results must still come back in submission order.
+	out := Map(p, items, func(i int) int {
+		time.Sleep(time.Duration(len(items)-i) * 10 * time.Microsecond)
+		return i * i
+	})
+	if len(out) != len(items) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParallelismBound(t *testing.T) {
+	const bound = 3
+	p := New(bound)
+	if p.Parallelism() != bound {
+		t.Fatalf("Parallelism() = %d", p.Parallelism())
+	}
+	var running, peak, violations int64
+	MapN(p, 50, func(int) struct{} {
+		n := atomic.AddInt64(&running, 1)
+		if n > bound {
+			atomic.AddInt64(&violations, 1)
+		}
+		for {
+			old := atomic.LoadInt64(&peak)
+			if n <= old || atomic.CompareAndSwapInt64(&peak, old, n) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		atomic.AddInt64(&running, -1)
+		return struct{}{}
+	})
+	if violations > 0 {
+		t.Fatalf("%d tasks observed more than %d running", violations, bound)
+	}
+	if runtime.GOMAXPROCS(0) > 1 && peak < 2 {
+		t.Logf("peak concurrency %d on %d procs (scheduling-dependent)", peak, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestSequentialPoolRunsOneAtATime(t *testing.T) {
+	p := New(1)
+	var running int64
+	MapN(p, 20, func(int) struct{} {
+		if n := atomic.AddInt64(&running, 1); n != 1 {
+			t.Errorf("%d tasks running in a parallelism-1 pool", n)
+		}
+		time.Sleep(50 * time.Microsecond)
+		atomic.AddInt64(&running, -1)
+		return struct{}{}
+	})
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Parallelism(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("New(0).Parallelism() = %d, want %d", got, want)
+	}
+	if got, want := New(-5).Parallelism(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("New(-5).Parallelism() = %d, want %d", got, want)
+	}
+}
+
+func TestWaitIsIdempotent(t *testing.T) {
+	p := New(2)
+	f := Submit(p, func() int { return 42 })
+	if f.Wait() != 42 || f.Wait() != 42 {
+		t.Fatal("repeated Wait changed the result")
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	p := New(2)
+	f := Submit(p, func() int { panic("boom") })
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+		// The slot must have been released despite the panic.
+		if got := Submit(p, func() int { return 7 }).Wait(); got != 7 {
+			t.Fatalf("pool unusable after panic: %d", got)
+		}
+	}()
+	f.Wait()
+}

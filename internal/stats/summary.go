@@ -1,0 +1,35 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary is the mean ± stddev reduction of a set of replicate
+// measurements — one value per seed of a multi-seed experiment run.
+type Summary struct {
+	Mean float64
+	Std  float64 // population standard deviation across replicates
+	N    int     // number of finite replicates
+}
+
+// Summarize reduces replicate values to a Summary. NaN replicates (empty
+// bins, failed points) are skipped; with no finite values both Mean and Std
+// are NaN.
+func Summarize(xs []float64) Summary {
+	var s Sample
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			s.Add(x)
+		}
+	}
+	if s.N() == 0 {
+		return Summary{Mean: math.NaN(), Std: math.NaN()}
+	}
+	return Summary{Mean: s.Mean(), Std: s.Stddev(), N: s.N()}
+}
+
+// String renders "mean ± std" with three significant digits.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3g ± %.3g", s.Mean, s.Std)
+}

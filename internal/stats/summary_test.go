@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if s.Mean != 4 || s.N != 3 {
+		t.Fatalf("mean=%v n=%d", s.Mean, s.N)
+	}
+	want := math.Sqrt(8.0 / 3.0)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std=%v want %v", s.Std, want)
+	}
+}
+
+func TestSummarizeSingleValue(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.Mean != 3.5 || s.Std != 0 || s.N != 1 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestSummarizeSkipsNaN(t *testing.T) {
+	s := Summarize([]float64{math.NaN(), 1, 3, math.NaN()})
+	if s.Mean != 2 || s.N != 2 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	for _, xs := range [][]float64{nil, {math.NaN()}} {
+		s := Summarize(xs)
+		if !math.IsNaN(s.Mean) || !math.IsNaN(s.Std) || s.N != 0 {
+			t.Fatalf("Summarize(%v) = %+v", xs, s)
+		}
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	got := Summary{Mean: 1.2345, Std: 0.0678}.String()
+	if got != "1.23 ± 0.0678" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -6,8 +6,12 @@
 package workload
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"sort"
+	"strconv"
+	"strings"
 
 	"flowbender/internal/sim"
 )
@@ -58,7 +62,9 @@ func (c CDF) Validate() error {
 		if c[i].Bytes <= 0 {
 			return fmt.Errorf("workload: CDF point %d has non-positive size", i)
 		}
-		if c[i].P < 0 || c[i].P > 1 {
+		// The negated form also rejects NaN, which would otherwise slip
+		// through both comparisons and the monotonicity check below.
+		if !(c[i].P >= 0 && c[i].P <= 1) {
 			return fmt.Errorf("workload: CDF point %d has probability %v", i, c[i].P)
 		}
 		if i > 0 && (c[i].Bytes <= c[i-1].Bytes || c[i].P < c[i-1].P) {
@@ -73,17 +79,83 @@ func (c CDF) Validate() error {
 
 // Sample draws a flow size by inverse transform.
 func (c CDF) Sample(rng *sim.RNG) int64 {
-	u := rng.Float64()
+	return c.Quantile(rng.Float64())
+}
+
+// Quantile returns the flow size at cumulative probability u (the inverse
+// transform Sample draws from), linearly interpolated between points and
+// clamped to [0, 1]. It is non-decreasing in u.
+func (c CDF) Quantile(u float64) int64 {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
 	i := sort.Search(len(c), func(i int) bool { return c[i].P >= u })
 	if i == 0 {
 		return c[0].Bytes
+	}
+	if i == len(c) {
+		return c[len(c)-1].Bytes
 	}
 	lo, hi := c[i-1], c[i]
 	if hi.P == lo.P {
 		return hi.Bytes
 	}
 	frac := (u - lo.P) / (hi.P - lo.P)
-	return lo.Bytes + int64(frac*float64(hi.Bytes-lo.Bytes))
+	q := lo.Bytes + int64(frac*float64(hi.Bytes-lo.Bytes))
+	// float64 has a 53-bit mantissa: for sizes past 2^53 the rounded
+	// delta can overshoot the segment, so clamp to the bracketing points
+	// (this also keeps the result monotone in u).
+	if q < lo.Bytes {
+		q = lo.Bytes
+	}
+	if q > hi.Bytes {
+		q = hi.Bytes
+	}
+	return q
+}
+
+// ParseCDF reads an empirical flow-size distribution in the format common
+// to datacenter simulators: one "<bytes> <cumulative-probability>" pair per
+// line, whitespace-separated, with blank lines and #-comments ignored. The
+// parsed CDF is validated (strictly increasing sizes, monotone
+// probabilities ending at exactly 1) before being returned.
+func ParseCDF(r io.Reader) (CDF, error) {
+	var c CDF
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("workload: cdf line %d: want \"<bytes> <prob>\", got %q", lineNo, line)
+		}
+		bytes, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: cdf line %d: bad size %q: %v", lineNo, fields[0], err)
+		}
+		p, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: cdf line %d: bad probability %q: %v", lineNo, fields[1], err)
+		}
+		c = append(c, CDFPoint{Bytes: bytes, P: p})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: cdf: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // Mean returns the analytic mean of the interpolated distribution.
@@ -91,7 +163,9 @@ func (c CDF) Mean() float64 {
 	mean := float64(c[0].Bytes) * c[0].P
 	for i := 1; i < len(c); i++ {
 		dp := c[i].P - c[i-1].P
-		mid := float64(c[i-1].Bytes+c[i].Bytes) / 2
+		// Convert before adding: the int64 sum of two near-max sizes
+		// overflows, flipping the midpoint negative.
+		mid := (float64(c[i-1].Bytes) + float64(c[i].Bytes)) / 2
 		mean += dp * mid
 	}
 	return mean

@@ -22,11 +22,12 @@ func main() {
 		scale    = flag.String("scale", "small", "fabric scale: tiny, small, paper")
 		parallel = flag.Int("parallel", 0, "max concurrent simulation points (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
 		seeds    = flag.Int("seeds", 0, "replicate each point over this many seeds and report mean ± stddev")
+		watchdog = flag.Duration("watchdog", 0, "wall-clock limit per simulation point; exceeding points report FAILED instead of hanging the run (0 = off)")
 		verb     = flag.Bool("v", false, "log per-run progress to stderr")
 	)
 	flag.Parse()
 
-	o := experiments.Options{Seed: *seed, Parallelism: *parallel, Seeds: *seeds}
+	o := experiments.Options{Seed: *seed, Parallelism: *parallel, Seeds: *seeds, Watchdog: *watchdog}
 	switch *scale {
 	case "tiny":
 		o.Scale = experiments.ScaleTiny

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	fbsim -exp alltoall -scale small -seed 1 -v
+//	fbsim -exp faults -faults cut,flap10ms,gray1 -scale small
 //	fbsim -list
 //
 // Each experiment regenerates one table or figure of the paper (see
@@ -13,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"flowbender/internal/experiments"
 	"flowbender/internal/workload"
@@ -29,11 +31,21 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent simulation points (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
 		seeds    = flag.Int("seeds", 0, "replicate each point over this many seeds and report mean ± stddev")
 		cdfPath  = flag.String("cdf", "", "flow-size CDF file for all-to-all workloads (lines of \"<bytes> <cumulative-prob>\")")
+		faultSel = flag.String("faults", "", "comma-separated fault scenarios for -exp faults (empty = all; see -list-faults)")
+		listF    = flag.Bool("list-faults", false, "list available fault scenarios")
+		watchdog = flag.Duration("watchdog", 0, "wall-clock limit per simulation point; exceeding points report FAILED instead of hanging the run (0 = off)")
 		verb     = flag.Bool("v", false, "log per-run progress to stderr")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of a table")
 	)
 	flag.Parse()
 
+	if *listF {
+		fmt.Println("available fault scenarios (for -exp faults -faults ...):")
+		for _, name := range experiments.FaultScenarioNames() {
+			fmt.Printf("  %s\n", name)
+		}
+		return
+	}
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
 		for _, e := range experiments.Registry {
@@ -56,6 +68,14 @@ func main() {
 		JobCount:    *jobs,
 		Parallelism: *parallel,
 		Seeds:       *seeds,
+		Watchdog:    *watchdog,
+	}
+	if *faultSel != "" {
+		for _, name := range strings.Split(*faultSel, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				o.FaultScenarios = append(o.FaultScenarios, name)
+			}
+		}
 	}
 	if *cdfPath != "" {
 		f, err := os.Open(*cdfPath)
@@ -85,7 +105,11 @@ func main() {
 	if *verb {
 		o.Log = os.Stderr
 	}
-	res := run(o)
+	res, err := runProtected(run, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fbsim: experiment %s failed: %v\n", *exp, err)
+		os.Exit(1)
+	}
 	if *asJSON {
 		if err := experiments.WriteJSON(os.Stdout, res); err != nil {
 			fmt.Fprintln(os.Stderr, "fbsim: json:", err)
@@ -94,4 +118,17 @@ func main() {
 		return
 	}
 	res.Print(os.Stdout)
+}
+
+// runProtected converts a panicking experiment into an error exit with a
+// message, instead of a bare crash: individual simulation points are
+// already recovered inside the harness, so this only catches failures in
+// the experiment driver itself.
+func runProtected(run func(experiments.Options) experiments.Printable, o experiments.Options) (res experiments.Printable, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return run(o), nil
 }

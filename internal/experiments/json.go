@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // MarshalText makes Scheme usable as a JSON map key.
@@ -67,6 +68,20 @@ func (r *TestbedResult) MarshalJSON() ([]byte, error) {
 	}
 	for load, v := range r.ECMPAbsMs {
 		out.ECMPAbsMs[loadKey(load)] = v
+	}
+	return json.Marshal(out)
+}
+
+// MarshalJSON renders the NaN mean (no affected flow completed) as null,
+// which encoding/json otherwise rejects.
+func (c FaultCell) MarshalJSON() ([]byte, error) {
+	type alias FaultCell // drop the method to avoid recursion
+	out := struct {
+		alias
+		MeanAffectedFCTms *float64
+	}{alias: alias(c)}
+	if !math.IsNaN(c.MeanAffectedFCTms) {
+		out.MeanAffectedFCTms = &c.MeanAffectedFCTms
 	}
 	return json.Marshal(out)
 }

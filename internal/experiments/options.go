@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"io"
+	"time"
 
 	"flowbender/internal/runpool"
 	"flowbender/internal/sim"
@@ -73,6 +74,16 @@ type Options struct {
 	// workloads (nil = the paper's web-search CDF). Load with
 	// workload.ParseCDF to run external distributions.
 	CDF workload.CDF
+
+	// FaultScenarios restricts the fault-matrix experiment to the named
+	// scenarios (see FaultScenarioNames); empty runs the whole suite.
+	FaultScenarios []string
+
+	// Watchdog, when > 0, bounds each simulation point's wall-clock time:
+	// a point exceeding it is reported as failed instead of hanging the
+	// run. Off by default — whether a borderline point trips it depends on
+	// machine speed, so leave it off when byte-identical output matters.
+	Watchdog time.Duration
 
 	// sharedPool, when non-nil, is used instead of a fresh pool so that
 	// RunAll can bound concurrency across experiments with one limit.
@@ -152,12 +163,15 @@ func (o Options) seedAt(rep int) int64 {
 }
 
 // pool returns the worker pool simulation points fan out on: the shared
-// pool inside RunAll, otherwise a fresh one sized by Parallelism.
+// pool inside RunAll, otherwise a fresh one sized by Parallelism with the
+// watchdog armed.
 func (o Options) pool() *runpool.Pool {
 	if o.sharedPool != nil {
 		return o.sharedPool
 	}
-	return runpool.New(o.Parallelism)
+	p := runpool.New(o.Parallelism)
+	p.SetWatchdog(o.Watchdog)
+	return p
 }
 
 func (o Options) maxWait() sim.Time {

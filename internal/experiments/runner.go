@@ -14,12 +14,15 @@ type Printable interface {
 	Print(w io.Writer)
 }
 
-// Registry maps experiment names (as used by cmd/fbsim -exp) to runners.
-var Registry = []struct {
+// RegistryEntry is one named experiment runner.
+type RegistryEntry struct {
 	Name string
 	Desc string
 	Run  func(Options) Printable
-}{
+}
+
+// Registry maps experiment names (as used by cmd/fbsim -exp) to runners.
+var Registry = []RegistryEntry{
 	{"table1", "Table 1: validation, equal elephant flows ToR-to-ToR, ECMP vs FlowBender",
 		func(o Options) Printable { return Table1(o) }},
 	{"alltoall", "Figures 3+4 and §4.2.3: all-to-all latency and out-of-order accounting",
@@ -38,6 +41,8 @@ var Registry = []struct {
 		func(o Options) Printable { return TopoDependence(o) }},
 	{"linkfailure", "§3.3.2: recovery from a link failure within ~RTO",
 		func(o Options) Printable { return LinkFailure(o) }},
+	{"faults", "chaos suite: cuts, flaps, gray drops, degraded links x scheme",
+		func(o Options) Printable { return FaultMatrix(o) }},
 	{"wcmp", "§4.3.1: asymmetric fabric, WCMP weights, and FlowBender robustness",
 		func(o Options) Printable { return WCMP(o) }},
 	{"udpspray", "§3.4.3: burst-level path spraying for unreliable transports",
@@ -75,23 +80,37 @@ func (s *syncWriter) Write(p []byte) (int, error) {
 // in registry order. All experiments run concurrently, sharing one worker
 // pool bounded by Options.Parallelism, so total simulation concurrency
 // stays bounded; each experiment's output is buffered and emitted in
-// order, byte-identical to a sequential run.
+// order, byte-identical to a sequential run. An experiment that panics is
+// reported FAILED inline and the rest still complete.
 func RunAll(o Options, w io.Writer) {
+	runExperiments(o, w, Registry)
+}
+
+// runExperiments is RunAll over an explicit registry slice (tests inject
+// deliberately crashing experiments through it).
+func runExperiments(o Options, w io.Writer, reg []RegistryEntry) {
 	o.sharedPool = runpool.New(o.Parallelism)
+	o.sharedPool.SetWatchdog(o.Watchdog)
 	if o.Log != nil {
 		o.Log = &syncWriter{w: o.Log}
 	}
-	bufs := make([]bytes.Buffer, len(Registry))
+	bufs := make([]bytes.Buffer, len(reg))
 	var wg sync.WaitGroup
-	for i, e := range Registry {
+	for i, e := range reg {
 		wg.Add(1)
 		go func(i int, run func(Options) Printable) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					bufs[i].Reset()
+					fmt.Fprintf(&bufs[i], "FAILED: %v\n", r)
+				}
+			}()
 			run(o).Print(&bufs[i])
 		}(i, e.Run)
 	}
 	wg.Wait()
-	for i, e := range Registry {
+	for i, e := range reg {
 		fmt.Fprintf(w, "==== %s — %s ====\n", e.Name, e.Desc)
 		_, _ = bufs[i].WriteTo(w)
 		fmt.Fprintln(w)

@@ -1,0 +1,255 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+	"flowbender/internal/topo"
+)
+
+func fatTreeFixture() (*sim.Engine, *topo.FatTree, FatTreeFabric) {
+	eng := sim.NewEngine()
+	ft := topo.NewFatTree(eng, topo.TinyScale())
+	return eng, ft, FatTreeFabric{FT: ft}
+}
+
+func TestApplyCutAndRestore(t *testing.T) {
+	eng, ft, fab := fatTreeFixture()
+	plan := Plan{Events: []Event{
+		Cut(1*sim.Millisecond, "aggcore:0/0/0"),
+		{At: 5 * sim.Millisecond, Kind: LinkUp, Link: "aggcore:0/0/0"},
+	}}
+	if _, err := Apply(eng, sim.NewRNG(1).Fork("faults"), fab, plan); err != nil {
+		t.Fatal(err)
+	}
+	dx := ft.AggCoreLinks[0][0][0]
+	eng.Run(2 * sim.Millisecond)
+	if !dx.Failed() {
+		t.Fatal("cable not cut at 1ms")
+	}
+	eng.Run(6 * sim.Millisecond)
+	if dx.Failed() || dx.HalfOpen() {
+		t.Fatal("cable not restored at 5ms")
+	}
+}
+
+func TestApplyHalfOpenCut(t *testing.T) {
+	eng, ft, fab := fatTreeFixture()
+	plan := Plan{Events: []Event{HalfOpenCut(1*sim.Millisecond, "aggcore:0/0/0", AtoB)}}
+	if _, err := Apply(eng, sim.NewRNG(1).Fork("faults"), fab, plan); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(2 * sim.Millisecond)
+	dx := ft.AggCoreLinks[0][0][0]
+	if dx.Failed() {
+		t.Fatal("half-open cut reported fully failed")
+	}
+	if !dx.HalfOpen() {
+		t.Fatal("half-open cut not applied")
+	}
+	if !dx.AtoB.Link.Down || dx.BtoA.Link.Down {
+		t.Fatal("wrong direction cut")
+	}
+}
+
+func TestFlapTogglesAndStops(t *testing.T) {
+	eng, ft, fab := fatTreeFixture()
+	// Strictly periodic (no jitter): down at 1ms, up at 3ms, down at 5ms,
+	// ..., until 10ms.
+	plan := Plan{Events: []Event{
+		FlapLink(1*sim.Millisecond, "aggcore:0/0/0", 2*sim.Millisecond, 2*sim.Millisecond, 0, 10*sim.Millisecond),
+	}}
+	if _, err := Apply(eng, sim.NewRNG(1).Fork("faults"), fab, plan); err != nil {
+		t.Fatal(err)
+	}
+	dx := ft.AggCoreLinks[0][0][0]
+	eng.Run(2 * sim.Millisecond)
+	if !dx.Failed() {
+		t.Fatal("not down after first flap transition")
+	}
+	eng.Run(4 * sim.Millisecond)
+	if dx.Failed() {
+		t.Fatal("not up mid-flap")
+	}
+	eng.Run(20 * sim.Millisecond)
+	if dx.Failed() || dx.HalfOpen() {
+		t.Fatal("flap did not leave the cable up after Until")
+	}
+	// Transitions: down/up at 1,3,5,7,9 ms, plus the final restore when the
+	// 11 ms tick sees Until has passed -> 6 state changes per direction.
+	if got := dx.AtoB.Link.Transitions; got != 6 {
+		t.Fatalf("A->B transitions = %d, want 6", got)
+	}
+}
+
+func TestFlapJitterDeterministic(t *testing.T) {
+	run := func() int64 {
+		eng, ft, fab := fatTreeFixture()
+		plan := Plan{Events: []Event{
+			FlapLink(1*sim.Millisecond, "aggcore:0/0/0", 1*sim.Millisecond, 1*sim.Millisecond, 0.3, 50*sim.Millisecond),
+		}}
+		if _, err := Apply(eng, sim.NewRNG(7).Fork("faults"), fab, plan); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(60 * sim.Millisecond)
+		return ft.AggCoreLinks[0][0][0].AtoB.Link.Transitions
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("jittered flap not replayable: %d vs %d transitions", a, b)
+	}
+	if a < 10 {
+		t.Fatalf("implausibly few transitions: %d", a)
+	}
+}
+
+func TestGrayDropLossRate(t *testing.T) {
+	eng, ft, fab := fatTreeFixture()
+	plan := Plan{Events: []Event{Gray(0, "aggcore:0/0/0", 0.5)}}
+	if _, err := Apply(eng, sim.NewRNG(3).Fork("faults"), fab, plan); err != nil {
+		t.Fatal(err)
+	}
+	dx := ft.AggCoreLinks[0][0][0]
+	eng.RunUntilIdle() // apply the event at t=0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		dx.AtoB.Enqueue(&netsim.Packet{Dst: 0, Size: 100})
+		eng.RunUntilIdle()
+	}
+	got := dx.AtoB.Link.DroppedGray
+	if got < n/3 || got > 2*n/3 {
+		t.Fatalf("gray drops = %d of %d, want ~%d", got, n, n/2)
+	}
+	// Clearing: DropProb 0 removes the hook (scheduled after Now, since the
+	// engine has already advanced past t=0).
+	plan2 := Plan{Events: []Event{Gray(eng.Now()+1, "aggcore:0/0/0", 0)}}
+	if _, err := Apply(eng, sim.NewRNG(3).Fork("faults2"), fab, plan2); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntilIdle()
+	if dx.AtoB.Link.DropFn != nil {
+		t.Fatal("gray state not cleared")
+	}
+}
+
+func TestDegradeAndRestoreRate(t *testing.T) {
+	eng, ft, fab := fatTreeFixture()
+	plan := Plan{Events: []Event{
+		DegradeLink(1*sim.Millisecond, "aggcore:0/0/0", 0.25),
+		DegradeLink(5*sim.Millisecond, "aggcore:0/0/0", 1),
+	}}
+	if _, err := Apply(eng, sim.NewRNG(1).Fork("faults"), fab, plan); err != nil {
+		t.Fatal(err)
+	}
+	dx := ft.AggCoreLinks[0][0][0]
+	orig := dx.AtoB.RateBps
+	eng.Run(2 * sim.Millisecond)
+	if got := dx.AtoB.RateBps; got != orig/4 {
+		t.Fatalf("degraded rate = %d, want %d", got, orig/4)
+	}
+	if got := dx.BtoA.RateBps; got != orig/4 {
+		t.Fatalf("reverse direction not degraded: %d", got)
+	}
+	eng.Run(6 * sim.Millisecond)
+	if got := dx.AtoB.RateBps; got != orig {
+		t.Fatalf("restored rate = %d, want %d", got, orig)
+	}
+}
+
+func TestEcnMuteUnmute(t *testing.T) {
+	eng, ft, fab := fatTreeFixture()
+	plan := Plan{Events: []Event{
+		{At: 1 * sim.Millisecond, Kind: EcnMute, Switch: "agg:0/0"},
+		{At: 5 * sim.Millisecond, Kind: EcnUnmute, Switch: "agg:0/0"},
+	}}
+	if _, err := Apply(eng, sim.NewRNG(1).Fork("faults"), fab, plan); err != nil {
+		t.Fatal(err)
+	}
+	sw := ft.Aggs[0][0]
+	if !sw.MarkingEnabled() {
+		t.Fatal("marking off before the mute event")
+	}
+	eng.Run(2 * sim.Millisecond)
+	if sw.MarkingEnabled() {
+		t.Fatal("mute did not take effect")
+	}
+	eng.Run(6 * sim.Millisecond)
+	if !sw.MarkingEnabled() {
+		t.Fatal("unmute did not restore marking")
+	}
+}
+
+func TestWholeSwitchDownUp(t *testing.T) {
+	eng, ft, fab := fatTreeFixture()
+	plan := Plan{Events: []Event{
+		{At: 1 * sim.Millisecond, Kind: SwitchDown, Switch: "agg:0/1"},
+		{At: 5 * sim.Millisecond, Kind: SwitchUp, Switch: "agg:0/1"},
+	}}
+	if _, err := Apply(eng, sim.NewRNG(1).Fork("faults"), fab, plan); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(2 * sim.Millisecond)
+	want := ft.P.TorsPerPod + ft.P.CoreUplinksPerAgg
+	if got := ft.DownLinks(); got != want {
+		t.Fatalf("down links = %d, want %d", got, want)
+	}
+	eng.Run(6 * sim.Millisecond)
+	if ft.DownLinks() != 0 {
+		t.Fatal("switch not restored")
+	}
+}
+
+func TestApplyRejectsBadTargets(t *testing.T) {
+	eng, _, fab := fatTreeFixture()
+	cases := []Plan{
+		{Events: []Event{Cut(0, "aggcore:9/9/9")}},
+		{Events: []Event{Cut(0, "nonsense:0")}},
+		{Events: []Event{Cut(0, "missing-colon")}},
+		{Events: []Event{{At: 0, Kind: EcnMute, Switch: "spine:0"}}},
+		{Events: []Event{{At: 0, Kind: SwitchDown, Switch: "agg:5/5"}}},
+		{Events: []Event{Gray(0, "aggcore:0/0/0", 1.5)}},
+		{Events: []Event{DegradeLink(0, "aggcore:0/0/0", 0)}},
+		{Events: []Event{{At: 0, Kind: Flap, Link: "aggcore:0/0/0"}}},
+		{Events: []Event{{At: -1, Kind: LinkDown, Link: "aggcore:0/0/0"}}},
+	}
+	for i, plan := range cases {
+		if _, err := Apply(eng, sim.NewRNG(1).Fork("faults"), fab, plan); err == nil {
+			t.Errorf("case %d: bad plan accepted", i)
+		}
+	}
+}
+
+func TestLeafSpineFabricResolution(t *testing.T) {
+	eng := sim.NewEngine()
+	ls := topo.NewLeafSpine(eng, topo.SmallTestbed())
+	fab := LeafSpineFabric{LS: ls}
+	dx, err := fab.Cable("up:1/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dx != ls.UpLinks[1][2] {
+		t.Fatal("wrong cable resolved")
+	}
+	if _, err := fab.Cable("up:99/0"); err == nil {
+		t.Fatal("out-of-range cable accepted")
+	}
+	sw, err := fab.Switch("spine:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw != ls.Spines[3] {
+		t.Fatal("wrong switch resolved")
+	}
+	if err := fab.SetSwitchDown("spine:0", true); err != nil {
+		t.Fatal(err)
+	}
+	if ls.DownLinks() != ls.P.Tors {
+		t.Fatal("spine not failed")
+	}
+	if err := fab.SetSwitchDown("tor:0", true); err == nil ||
+		!strings.Contains(err.Error(), "not supported") {
+		t.Fatalf("tor whole-switch failure should be unsupported, got %v", err)
+	}
+}

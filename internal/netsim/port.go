@@ -4,15 +4,41 @@ import "flowbender/internal/sim"
 
 // Link is the unidirectional wire attached to an egress Port. Its peer is
 // the device (and input-port number) that receives what the port transmits.
+// Because each Link is one direction of a cable, failure state is inherently
+// per-direction: a half-open cut is one Link down while its reverse stays up
+// (see Duplex).
 type Link struct {
 	To     Device
 	ToPort int
 	// Delay is the propagation delay.
 	Delay sim.Time
 	// Down marks a failed link: transmissions complete but packets are lost.
+	// Prefer SetDown, which also counts the up/down transition.
 	Down bool
 	// DroppedDown counts packets lost to a failed link.
 	DroppedDown int64
+
+	// DropFn, when set, is consulted for every packet that would otherwise
+	// be delivered; returning true silently discards it. Fault injection
+	// uses it for gray (probabilistically lossy) links; the hook keeps the
+	// fabric free of any RNG dependency.
+	DropFn func(pkt *Packet) bool
+	// DroppedGray counts packets discarded by DropFn.
+	DroppedGray int64
+
+	// Transitions counts up<->down state changes made through SetDown
+	// (flap accounting).
+	Transitions int64
+}
+
+// SetDown changes the link's failure state, counting the transition. Setting
+// the current state again is a no-op.
+func (l *Link) SetDown(down bool) {
+	if l.Down == down {
+		return
+	}
+	l.Down = down
+	l.Transitions++
 }
 
 // Port is an egress port: a queue draining into a serializing transmitter at
@@ -90,6 +116,8 @@ func (p *Port) kick() {
 		}
 		if p.Link.Down || p.Link.To == nil {
 			p.Link.DroppedDown++
+		} else if p.Link.DropFn != nil && p.Link.DropFn(pkt) {
+			p.Link.DroppedGray++
 		} else {
 			to, toPort := p.Link.To, p.Link.ToPort
 			if p.Link.Delay > 0 {

@@ -27,7 +27,8 @@ func TracePath(from *Host, pkt *Packet, maxHops int) ([]NodeID, error) {
 			return path, fmt.Errorf("netsim: trace: dangling link at %d", path[len(path)-1])
 		}
 		if link.Down {
-			return path, fmt.Errorf("netsim: trace: failed link after %d", path[len(path)-1])
+			return path, fmt.Errorf("netsim: trace: link down in the %d->%d direction",
+				path[len(path)-1], link.To.ID())
 		}
 		switch dev := link.To.(type) {
 		case *Host:

@@ -14,18 +14,31 @@ type Duplex struct {
 // O(seconds) routing reconvergence the paper contrasts against FlowBender's
 // O(RTO) end-to-end recovery.
 func (d *Duplex) Fail() {
-	d.AtoB.Link.Down = true
-	d.BtoA.Link.Down = true
+	d.AtoB.Link.SetDown(true)
+	d.BtoA.Link.SetDown(true)
 }
 
-// Restore brings the cable back up.
+// Restore brings the cable back up (both directions).
 func (d *Duplex) Restore() {
-	d.AtoB.Link.Down = false
-	d.BtoA.Link.Down = false
+	d.AtoB.Link.SetDown(false)
+	d.BtoA.Link.SetDown(false)
 }
 
-// Failed reports whether the cable is currently down.
-func (d *Duplex) Failed() bool { return d.AtoB.Link.Down }
+// FailAtoB cuts only the A-to-B direction (a half-open failure: traffic
+// still flows B-to-A). FailBtoA is its mirror.
+func (d *Duplex) FailAtoB() { d.AtoB.Link.SetDown(true) }
+
+// FailBtoA cuts only the B-to-A direction.
+func (d *Duplex) FailBtoA() { d.BtoA.Link.SetDown(true) }
+
+// Failed reports whether the cable is fully down: both directions cut. A
+// half-open cable (one direction down) is NOT Failed — use HalfOpen to
+// detect it.
+func (d *Duplex) Failed() bool { return d.AtoB.Link.Down && d.BtoA.Link.Down }
+
+// HalfOpen reports whether exactly one direction of the cable is down — the
+// half-open failure mode where data flows one way but nothing returns.
+func (d *Duplex) HalfOpen() bool { return d.AtoB.Link.Down != d.BtoA.Link.Down }
 
 // WireSwitches connects egress port ap of a to input/egress port bp of b in
 // both directions with the given propagation delay. Port rates were fixed at

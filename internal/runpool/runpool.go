@@ -15,14 +15,43 @@
 package runpool
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 )
+
+// PanicError is the per-point error a recovered task panic is converted to
+// by Result/MapResults: the sweep keeps going and the failed point carries
+// the panic value and stack instead of crashing the process.
+type PanicError struct {
+	// Value is what the task panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("task panicked: %v", e.Value) }
+
+// WatchdogError reports a task that exceeded the pool's wall-clock watchdog.
+// The runaway goroutine cannot be killed: it keeps running (and keeps
+// holding its pool slot) until it finishes on its own; only the Future is
+// resolved early so the sweep can report the point as failed and move on.
+type WatchdogError struct {
+	// Limit is the watchdog duration that was exceeded.
+	Limit time.Duration
+}
+
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("task exceeded the %v wall-clock watchdog", e.Limit)
+}
 
 // Pool bounds how many submitted tasks run concurrently. Create one with
 // New; the zero value is not usable.
 type Pool struct {
-	sem chan struct{}
+	sem      chan struct{}
+	watchdog time.Duration
 }
 
 // New returns a pool that runs at most parallelism tasks at once.
@@ -39,10 +68,21 @@ func New(parallelism int) *Pool {
 // Parallelism returns the pool's concurrency bound.
 func (p *Pool) Parallelism() int { return cap(p.sem) }
 
-// result carries a task's return value or the value it panicked with.
+// SetWatchdog arms a wall-clock watchdog on every subsequently submitted
+// task: a task running longer than d resolves its Future with a
+// WatchdogError so the sweep can report the point as failed and keep going
+// (the runaway goroutine itself cannot be stopped and keeps holding its pool
+// slot until it returns). d <= 0 (the default) disables the watchdog.
+//
+// The watchdog trades determinism for liveness: whether a borderline point
+// trips it depends on machine speed, so leave it off when byte-identical
+// output matters and a hang is not a concern.
+func (p *Pool) SetWatchdog(d time.Duration) { p.watchdog = d }
+
+// result carries a task's return value or its failure.
 type result[T any] struct {
-	val     T
-	panicMsg any
+	val T
+	err error // *PanicError or *WatchdogError
 }
 
 // Future is the pending result of one submitted task.
@@ -55,13 +95,22 @@ type Future[T any] struct {
 // Submit schedules fn on the pool and returns a Future for its result. The
 // task starts as soon as a slot frees up; Submit itself never blocks.
 func Submit[T any](p *Pool, fn func() T) *Future[T] {
-	f := &Future[T]{ch: make(chan result[T], 1)}
+	// Capacity 2: with a watchdog armed, both the timeout and the (late)
+	// task result may be sent; the Future keeps whichever arrives first and
+	// neither sender ever blocks.
+	f := &Future[T]{ch: make(chan result[T], 2)}
 	go func() {
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
+		if wd := p.watchdog; wd > 0 {
+			timer := time.AfterFunc(wd, func() {
+				f.ch <- result[T]{err: &WatchdogError{Limit: wd}}
+			})
+			defer timer.Stop()
+		}
 		defer func() {
 			if r := recover(); r != nil {
-				f.ch <- result[T]{panicMsg: r}
+				f.ch <- result[T]{err: &PanicError{Value: r, Stack: debug.Stack()}}
 			}
 		}()
 		f.ch <- result[T]{val: fn()}
@@ -72,13 +121,26 @@ func Submit[T any](p *Pool, fn func() T) *Future[T] {
 // Wait blocks until the task finishes and returns its result. If the task
 // panicked, Wait re-panics with the same value in the caller's goroutine,
 // so a crashing simulation point fails the run just as it would have
-// sequentially. Wait may be called more than once.
+// sequentially; a watchdog timeout panics with the WatchdogError. Use
+// Result to degrade gracefully instead. Wait may be called more than once.
 func (f *Future[T]) Wait() T {
-	f.once.Do(func() { f.res = <-f.ch })
-	if f.res.panicMsg != nil {
-		panic(f.res.panicMsg)
+	v, err := f.Result()
+	if pe, ok := err.(*PanicError); ok {
+		panic(pe.Value)
 	}
-	return f.res.val
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Result blocks until the task finishes and returns its value, or a non-nil
+// error (*PanicError, *WatchdogError) describing why the point failed. It
+// never panics, making it the crash-proof counterpart of Wait. Result may be
+// called more than once and mixed with Wait.
+func (f *Future[T]) Result() (T, error) {
+	f.once.Do(func() { f.res = <-f.ch })
+	return f.res.val, f.res.err
 }
 
 // Map runs fn over every item concurrently (bounded by the pool) and
@@ -106,6 +168,30 @@ func MapN[Out any](p *Pool, n int, fn func(int) Out) []Out {
 	out := make([]Out, n)
 	for i, f := range futs {
 		out[i] = f.Wait()
+	}
+	return out
+}
+
+// TaskResult is one MapResults outcome: the task's value, or the error it
+// failed with (Err non-nil means Val is the zero value).
+type TaskResult[T any] struct {
+	Val T
+	Err error
+}
+
+// MapResults runs fn over every item concurrently (bounded by the pool) and
+// returns per-item results in item order. Unlike Map, a panicking or
+// watchdog-timed-out item does not abort the sweep: its slot carries the
+// error and every other item still completes and reports.
+func MapResults[In, Out any](p *Pool, items []In, fn func(In) Out) []TaskResult[Out] {
+	futs := make([]*Future[Out], len(items))
+	for i := range items {
+		it := items[i]
+		futs[i] = Submit(p, func() Out { return fn(it) })
+	}
+	out := make([]TaskResult[Out], len(items))
+	for i, f := range futs {
+		out[i].Val, out[i].Err = f.Result()
 	}
 	return out
 }

@@ -89,6 +89,94 @@ func TestWaitIsIdempotent(t *testing.T) {
 	}
 }
 
+func TestResultRecoversPanicIntoError(t *testing.T) {
+	p := New(2)
+	f := Submit(p, func() int { panic("boom") })
+	v, err := f.Result()
+	if v != 0 {
+		t.Fatalf("value = %d, want zero", v)
+	}
+	pe, ok := err.(*PanicError)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value != "boom" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+	// Result is idempotent and never panics.
+	if _, err2 := f.Result(); err2 != err {
+		t.Fatal("second Result returned a different error")
+	}
+}
+
+// TestMapResultsSweepSurvivesPanics pins the crash-proof harness contract:
+// one deliberately panicking point must not abort the sweep — every other
+// point completes and reports, in submission order.
+func TestMapResultsSweepSurvivesPanics(t *testing.T) {
+	p := New(4)
+	items := make([]int, 20)
+	for i := range items {
+		items[i] = i
+	}
+	out := MapResults(p, items, func(i int) int {
+		if i == 7 {
+			panic("point 7 exploded")
+		}
+		return i * i
+	})
+	if len(out) != len(items) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i, r := range out {
+		if i == 7 {
+			if r.Err == nil {
+				t.Fatal("panicking point reported no error")
+			}
+			continue
+		}
+		if r.Err != nil || r.Val != i*i {
+			t.Fatalf("out[%d] = %+v, want %d", i, r, i*i)
+		}
+	}
+	// The pool is still fully usable afterwards.
+	if got := Submit(p, func() int { return 7 }).Wait(); got != 7 {
+		t.Fatalf("pool unusable after recovered panics: %d", got)
+	}
+}
+
+func TestWatchdogResolvesStuckPoint(t *testing.T) {
+	p := New(4)
+	p.SetWatchdog(20 * time.Millisecond)
+	release := make(chan struct{})
+	stuck := Submit(p, func() int { <-release; return 1 })
+	_, err := stuck.Result()
+	we, ok := err.(*WatchdogError)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *WatchdogError", err, err)
+	}
+	if we.Limit != 20*time.Millisecond {
+		t.Fatalf("Limit = %v", we.Limit)
+	}
+	// Healthy points on the same pool still complete.
+	if v, err := Submit(p, func() int { return 9 }).Result(); err != nil || v != 9 {
+		t.Fatalf("healthy point after timeout: v=%d err=%v", v, err)
+	}
+	close(release) // let the stuck goroutine finish and release its slot
+}
+
+func TestWatchdogOffByDefault(t *testing.T) {
+	p := New(1)
+	if v, err := Submit(p, func() int {
+		time.Sleep(5 * time.Millisecond)
+		return 3
+	}).Result(); err != nil || v != 3 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+}
+
 func TestPanicPropagates(t *testing.T) {
 	p := New(2)
 	f := Submit(p, func() int { panic("boom") })

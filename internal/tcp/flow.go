@@ -50,6 +50,11 @@ func (f *Flow) OutOfOrder() int64 { return f.receiver.OutOfOrder }
 // retransmissions).
 func (f *Flow) DataPackets() int64 { return f.receiver.DataPackets }
 
+// Recovery returns the flow's outage-recovery statistics: each episode runs
+// from the first RTO after healthy operation to the next delivered
+// cumulative ACK (§3.3.2's time-to-recover).
+func (f *Flow) Recovery() RecoveryStats { return f.sender.RecoveryStats() }
+
 // FlowBenderStats returns the attached controller's counters, or a zero
 // value when the flow runs without FlowBender.
 func (f *Flow) FlowBenderStats() core.Stats {

@@ -70,6 +70,35 @@ type Sender struct {
 	AcksReceived int64
 	SpuriousUndo int64
 	SynRetries   int64
+
+	// Outage/recovery tracking (§3.3.2's time-to-recover): outageStart is
+	// the virtual time of the first RTO of the current outage episode, or -1
+	// when the flow is healthy. The episode closes on the next cumulative
+	// ACK advance.
+	outageStart sim.Time
+	recovery    RecoveryStats
+}
+
+// RecoveryStats aggregates a flow's outage episodes: an episode opens at the
+// first RTO after healthy operation and closes when the next cumulative ACK
+// arrives (data flowing again). The duration is the paper's §3.3.2
+// time-to-recover — how long the flow was stalled before rerouting (or the
+// fabric healing) let it make progress again.
+type RecoveryStats struct {
+	// Count is the number of completed outage episodes.
+	Count int64
+	// Total is the summed duration of completed episodes.
+	Total sim.Time
+	// Max is the longest completed episode.
+	Max sim.Time
+}
+
+// Mean returns the mean episode duration (0 when no episode completed).
+func (r RecoveryStats) Mean() sim.Time {
+	if r.Count == 0 {
+		return 0
+	}
+	return r.Total / sim.Time(r.Count)
 }
 
 func newSender(eng *sim.Engine, cfg Config, flow *Flow, srcPort, dstPort uint16) *Sender {
@@ -88,8 +117,16 @@ func newSender(eng *sim.Engine, cfg Config, flow *Flow, srcPort, dstPort uint16)
 	s.ssthresh = 1 << 40 // effectively unbounded until first loss signal
 	s.rto = cfg.RTOMin
 	s.dynDupThresh = cfg.DupThresh
+	s.outageStart = -1
 	return s
 }
+
+// RecoveryStats returns the flow's completed outage episodes.
+func (s *Sender) RecoveryStats() RecoveryStats { return s.recovery }
+
+// InOutage reports whether the sender is currently inside an outage episode
+// (an RTO fired and no ACK has advanced since).
+func (s *Sender) InOutage() bool { return s.outageStart >= 0 }
 
 func (s *Sender) start() {
 	s.epochEnd = 0
@@ -299,6 +336,16 @@ func (s *Sender) onNewAck(ack int64, _ bool) {
 	s.sndUna = ack
 	s.sacked.consume(s.sndUna)
 	s.backoff = 0
+	if s.outageStart >= 0 {
+		// Data is flowing again: close the outage episode.
+		d := s.eng.Now() - s.outageStart
+		s.recovery.Count++
+		s.recovery.Total += d
+		if d > s.recovery.Max {
+			s.recovery.Max = d
+		}
+		s.outageStart = -1
+	}
 
 	if s.inRecovery {
 		if ack >= s.recover {
@@ -509,6 +556,9 @@ func (s *Sender) onTimeout() {
 		return
 	}
 	s.Timeouts++
+	if s.outageStart < 0 {
+		s.outageStart = s.eng.Now()
+	}
 	s.undoValid = false
 	s.ssthresh = s.cwnd / 2
 	if min := 2 * float64(s.mss); s.ssthresh < min {

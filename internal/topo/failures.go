@@ -1,6 +1,10 @@
 package topo
 
-import "flowbender/internal/netsim"
+import (
+	"fmt"
+
+	"flowbender/internal/netsim"
+)
 
 // FailAgg cuts every cable of an aggregation switch (a whole-switch
 // failure): its ToR downlinks and core uplinks in both directions. Routing
@@ -24,8 +28,19 @@ func (ft *FatTree) RestoreAgg(pod, agg int) {
 	}
 }
 
+// checkCore validates a core switch index. The integer division below would
+// otherwise map some out-of-range indices onto existing cables (or panic
+// with an opaque bounds error), so reject them explicitly, matching the
+// constructors' style.
+func (ft *FatTree) checkCore(core int) {
+	if core < 0 || core >= ft.P.NumCores() {
+		panic(fmt.Sprintf("topo: core index %d out of range [0, %d)", core, ft.P.NumCores()))
+	}
+}
+
 // FailCore cuts every cable of a core switch (its one link per pod).
 func (ft *FatTree) FailCore(core int) {
+	ft.checkCore(core)
 	a := core / ft.P.CoreUplinksPerAgg
 	k := core % ft.P.CoreUplinksPerAgg
 	for pod := 0; pod < ft.P.Pods; pod++ {
@@ -35,6 +50,7 @@ func (ft *FatTree) FailCore(core int) {
 
 // RestoreCore brings a previously failed core switch back.
 func (ft *FatTree) RestoreCore(core int) {
+	ft.checkCore(core)
 	a := core / ft.P.CoreUplinksPerAgg
 	k := core % ft.P.CoreUplinksPerAgg
 	for pod := 0; pod < ft.P.Pods; pod++ {
@@ -54,6 +70,25 @@ func (ls *LeafSpine) RestoreSpine(spine int) {
 	for t := 0; t < ls.P.Tors; t++ {
 		ls.UpLinks[t][spine].Restore()
 	}
+}
+
+// DownLinks reports how many cables of the leaf-spine are currently fully
+// failed (both directions; half-open cables do not count).
+func (ls *LeafSpine) DownLinks() int {
+	count := 0
+	for _, d := range ls.HostLinks {
+		if d.Failed() {
+			count++
+		}
+	}
+	for t := range ls.UpLinks {
+		for _, d := range ls.UpLinks[t] {
+			if d.Failed() {
+				count++
+			}
+		}
+	}
+	return count
 }
 
 // DownLinks reports how many cables of the fat-tree are currently failed

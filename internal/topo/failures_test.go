@@ -44,6 +44,65 @@ func TestFailCoreCutsOnePerPod(t *testing.T) {
 	}
 }
 
+func TestFailCoreRejectsOutOfRangeIndex(t *testing.T) {
+	eng := sim.NewEngine()
+	p := TinyScale() // 2 cores
+	ft := NewFatTree(eng, p)
+	for _, core := range []int{-1, p.NumCores(), p.NumCores() + 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FailCore(%d) did not panic", core)
+				}
+			}()
+			ft.FailCore(core)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RestoreCore(%d) did not panic", core)
+				}
+			}()
+			ft.RestoreCore(core)
+		}()
+	}
+	if ft.DownLinks() != 0 {
+		t.Fatal("rejected FailCore still cut cables")
+	}
+}
+
+func TestLeafSpineFailRestoreRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	lp := SmallTestbed()
+	ls := NewLeafSpine(eng, lp)
+	if ls.DownLinks() != 0 {
+		t.Fatal("fresh leaf-spine has failed links")
+	}
+	ls.FailSpine(1)
+	if got := ls.DownLinks(); got != lp.Tors {
+		t.Fatalf("down links = %d, want %d", got, lp.Tors)
+	}
+	// A half-open cable elsewhere must not count as fully down.
+	ls.UpLinks[0][3].FailAtoB()
+	if got := ls.DownLinks(); got != lp.Tors {
+		t.Fatalf("half-open cable counted as down: %d", got)
+	}
+	if !ls.UpLinks[0][3].HalfOpen() {
+		t.Fatal("half-open state lost")
+	}
+	ls.UpLinks[0][3].Restore()
+	ls.RestoreSpine(1)
+	if ls.DownLinks() != 0 {
+		t.Fatal("restore incomplete")
+	}
+	// Round-trip again to catch state leakage between cycles.
+	ls.FailSpine(0)
+	ls.RestoreSpine(0)
+	if ls.DownLinks() != 0 {
+		t.Fatal("second round-trip left links down")
+	}
+}
+
 func TestFailSpine(t *testing.T) {
 	eng := sim.NewEngine()
 	lp := SmallTestbed()

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench results results-paper examples clean
+.PHONY: all build vet test test-short test-race test-simdebug bench bench-json bench-compare results results-paper examples clean
 
 all: build vet test
 
@@ -22,8 +22,25 @@ test-race:
 	$(GO) test -race -short ./...
 	$(GO) test -race -run 'TestParallelDeterminism' ./internal/experiments/
 
+# The simulator suites again with use-after-free tripwires armed: recycled
+# events/packets are poisoned and any stale access panics with generation
+# diagnostics. Run this first when debugging a determinism break.
+test-simdebug:
+	$(GO) test -tags simdebug ./internal/...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Write a BENCH_<timestamp>.json snapshot of the hot-path metrics (ns/event,
+# ns/packet-hop, allocs, per-experiment wall-clock) into the repo root.
+bench-json:
+	$(GO) run ./cmd/fbbench -json
+
+# Diff the two newest BENCH_*.json snapshots; exits nonzero if any headline
+# metric regressed by more than 10%. This is the local perf gate — CI only
+# smoke-runs the benchmarks.
+bench-compare:
+	$(GO) run ./cmd/fbbench -compare
 
 # Regenerate the paper's tables/figures at the 64-server scale. Simulation
 # points fan out across all cores (-parallel 0 = GOMAXPROCS); output is

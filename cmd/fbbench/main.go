@@ -5,14 +5,29 @@
 // Usage:
 //
 //	fbbench [-scale small] [-seed 1] [-v]
+//
+// Benchmark-trajectory modes:
+//
+//	fbbench -json [-scales tiny] [-o .]   write a BENCH_<timestamp>.json
+//	                                      snapshot: engine ns/event,
+//	                                      ns/packet-hop, allocs/op, and
+//	                                      wall-clock per experiment at each
+//	                                      listed scale
+//	fbbench -compare [-o .] [-tol 0.10]   diff the two newest snapshots and
+//	                                      exit 1 on any headline metric
+//	                                      regressing past the tolerance
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"testing"
 	"time"
 
+	"flowbender/internal/benchkit"
 	"flowbender/internal/experiments"
 )
 
@@ -24,21 +39,29 @@ func main() {
 		seeds    = flag.Int("seeds", 0, "replicate each point over this many seeds and report mean ± stddev")
 		watchdog = flag.Duration("watchdog", 0, "wall-clock limit per simulation point; exceeding points report FAILED instead of hanging the run (0 = off)")
 		verb     = flag.Bool("v", false, "log per-run progress to stderr")
+
+		jsonMode = flag.Bool("json", false, "write a BENCH_<timestamp>.json benchmark snapshot instead of printing tables")
+		compare  = flag.Bool("compare", false, "compare the two newest BENCH_*.json snapshots and exit 1 on regression")
+		scales   = flag.String("scales", "tiny", "comma-separated experiment scales to wall-clock in -json mode")
+		outDir   = flag.String("o", ".", "directory for -json output / -compare input")
+		tol      = flag.Float64("tol", 0.10, "fractional regression tolerance for -compare")
 	)
 	flag.Parse()
 
+	switch {
+	case *compare:
+		os.Exit(runCompare(*outDir, *tol))
+	case *jsonMode:
+		os.Exit(runJSON(*outDir, *scales, *seed, *parallel))
+	}
+
 	o := experiments.Options{Seed: *seed, Parallelism: *parallel, Seeds: *seeds, Watchdog: *watchdog}
-	switch *scale {
-	case "tiny":
-		o.Scale = experiments.ScaleTiny
-	case "small":
-		o.Scale = experiments.ScaleSmall
-	case "paper":
-		o.Scale = experiments.ScalePaper
-	default:
+	sc, ok := parseScale(*scale)
+	if !ok {
 		fmt.Fprintln(os.Stderr, "fbbench: scale must be tiny, small, or paper")
 		os.Exit(2)
 	}
+	o.Scale = sc
 	if *verb {
 		o.Log = os.Stderr
 	}
@@ -47,4 +70,87 @@ func main() {
 	fmt.Printf("FlowBender reproduction — full evaluation (scale=%s seed=%d)\n\n", *scale, *seed)
 	experiments.RunAll(o, os.Stdout)
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Second))
+}
+
+func parseScale(s string) (experiments.ScaleLevel, bool) {
+	switch s {
+	case "tiny":
+		return experiments.ScaleTiny, true
+	case "small":
+		return experiments.ScaleSmall, true
+	case "paper":
+		return experiments.ScalePaper, true
+	}
+	return 0, false
+}
+
+// runJSON measures the hot-path micro-benchmarks and the wall clock of every
+// registered experiment at each requested scale, then writes the snapshot.
+func runJSON(dir, scaleList string, seed int64, parallel int) int {
+	snap := benchkit.NewSnapshot(runtime.Version(), seed)
+
+	fmt.Fprintln(os.Stderr, "fbbench: measuring engine_schedule ...")
+	snap.Measure("engine_schedule", benchkit.EngineSchedule)
+	fmt.Fprintln(os.Stderr, "fbbench: measuring packet_hop ...")
+	snap.Measure("packet_hop", benchkit.PacketHop)
+	fmt.Fprintln(os.Stderr, "fbbench: measuring tcp_transfer_10mb ...")
+	snap.Measure("tcp_transfer_10mb", func(b *testing.B) { benchkit.TCPTransfer(b, 10_000_000) })
+
+	for _, sc := range strings.Split(scaleList, ",") {
+		sc = strings.TrimSpace(sc)
+		if sc == "" {
+			continue
+		}
+		level, ok := parseScale(sc)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fbbench: unknown scale %q in -scales\n", sc)
+			return 2
+		}
+		snap.Scales = append(snap.Scales, sc)
+		o := experiments.Options{Seed: seed, Scale: level, Parallelism: parallel}
+		for _, e := range experiments.Registry {
+			fmt.Fprintf(os.Stderr, "fbbench: timing %s at %s ...\n", e.Name, sc)
+			start := time.Now()
+			e.Run(o)
+			snap.Metrics[fmt.Sprintf("exp_%s_%s_wall_ms", e.Name, sc)] =
+				float64(time.Since(start).Microseconds()) / 1000
+		}
+	}
+
+	path, err := snap.Write(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbbench:", err)
+		return 1
+	}
+	fmt.Println(path)
+	return 0
+}
+
+// runCompare diffs the two newest snapshots in dir.
+func runCompare(dir string, tol float64) int {
+	olderPath, newerPath, err := benchkit.NewestTwo(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbbench:", err)
+		return 1
+	}
+	older, err := benchkit.Load(olderPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbbench:", err)
+		return 1
+	}
+	newer, err := benchkit.Load(newerPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbbench:", err)
+		return 1
+	}
+	fmt.Printf("comparing %s (old) vs %s (new), tolerance %.0f%%\n", olderPath, newerPath, tol*100)
+	regs := benchkit.Compare(older, newer, tol)
+	if len(regs) == 0 {
+		fmt.Println("OK: no headline metric regressed")
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Println("REGRESSION:", r)
+	}
+	return 1
 }

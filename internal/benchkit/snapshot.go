@@ -1,0 +1,174 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Snapshot is one point of the persisted benchmark trajectory, written as
+// BENCH_<timestamp>.json in the repository root. Every metric is
+// lower-is-better; Compare treats each one as a headline.
+type Snapshot struct {
+	Schema    int    `json:"schema"`
+	CreatedAt string `json:"created_at"`
+	GoVersion string `json:"go_version"`
+	// Scales lists the experiment scales whose wall-clock times are
+	// included (micro-benchmarks are scale-independent).
+	Scales []string `json:"scales"`
+	Seed   int64    `json:"seed"`
+	// Metrics maps metric name -> value. Conventions:
+	//   engine_schedule_ns_op / _allocs_op     per-event scheduler cost
+	//   packet_hop_ns / packet_hop_allocs      per switch-hop fabric cost
+	//   tcp_transfer_10mb_ms / _allocs         one 10 MB transfer
+	//   exp_<name>_<scale>_wall_ms             one experiment run's wall clock
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// FilePrefix and pattern for trajectory snapshots.
+const FilePrefix = "BENCH_"
+
+// NewSnapshot returns an empty snapshot stamped with the current time and
+// toolchain.
+func NewSnapshot(goVersion string, seed int64) *Snapshot {
+	return &Snapshot{
+		Schema:    1,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: goVersion,
+		Seed:      seed,
+		Metrics:   map[string]float64{},
+	}
+}
+
+// Filename returns the canonical snapshot filename for the creation time.
+func (s *Snapshot) Filename() string {
+	t, err := time.Parse(time.RFC3339, s.CreatedAt)
+	if err != nil {
+		t = time.Now().UTC()
+	}
+	return FilePrefix + t.Format("20060102-150405") + ".json"
+}
+
+// Write stores the snapshot under dir with its canonical filename and
+// returns the full path.
+func (s *Snapshot) Write(dir string) (string, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, s.Filename())
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads one snapshot file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchkit: %s: %w", path, err)
+	}
+	if s.Metrics == nil {
+		return nil, fmt.Errorf("benchkit: %s: no metrics", path)
+	}
+	return &s, nil
+}
+
+// NewestTwo returns the paths of the two newest snapshots in dir, older
+// first. Snapshot filenames embed their UTC timestamp, so lexicographic
+// order is chronological order.
+func NewestTwo(dir string) (older, newer string, err error) {
+	paths, err := filepath.Glob(filepath.Join(dir, FilePrefix+"*.json"))
+	if err != nil {
+		return "", "", err
+	}
+	if len(paths) < 2 {
+		return "", "", fmt.Errorf("benchkit: need at least two %s*.json snapshots in %s, found %d", FilePrefix, dir, len(paths))
+	}
+	sort.Strings(paths)
+	return paths[len(paths)-2], paths[len(paths)-1], nil
+}
+
+// Regression is one headline metric that got worse past the tolerance.
+type Regression struct {
+	Metric   string
+	Old, New float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.4g -> %.4g (%+.1f%%)", r.Metric, r.Old, r.New, 100*(r.New-r.Old)/nonzero(r.Old))
+}
+
+func nonzero(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// Compare checks every metric present in old against new with the given
+// fractional tolerance (0.10 = fail on >10% worse). All metrics are
+// lower-is-better. A metric missing from new, or a zero metric (e.g.
+// allocs/op) that becomes nonzero, is a regression. Metrics only present in
+// new are informational and ignored. Experiment wall-clock metrics (exp_*)
+// are single-shot timings and inherently noisier than the averaged
+// micro-benchmarks, so they get 3x the tolerance.
+func Compare(old, new *Snapshot, tolerance float64) []Regression {
+	var regs []Regression
+	names := make([]string, 0, len(old.Metrics))
+	for name := range old.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tol := tolerance
+		if strings.HasPrefix(name, "exp_") {
+			tol = 3 * tolerance
+		}
+		ov := old.Metrics[name]
+		nv, ok := new.Metrics[name]
+		switch {
+		case !ok:
+			regs = append(regs, Regression{Metric: name + " (missing)", Old: ov, New: 0})
+		case ov == 0 && nv > 0.5:
+			// An allocation-free path growing any allocations is a
+			// regression regardless of the relative tolerance.
+			regs = append(regs, Regression{Metric: name, Old: ov, New: nv})
+		case ov > 0 && nv > ov*(1+tol):
+			regs = append(regs, Regression{Metric: name, Old: ov, New: nv})
+		}
+	}
+	return regs
+}
+
+// Measure runs fn under testing.Benchmark and folds its result into the
+// snapshot: <name>_ns_op and <name>_allocs_op, plus any b.ReportMetric
+// extras as <name>_<metric> (with "/" mapped to "_per_").
+func (s *Snapshot) Measure(name string, fn func(b *testing.B)) testing.BenchmarkResult {
+	res := testing.Benchmark(fn)
+	s.Metrics[name+"_ns_op"] = float64(res.NsPerOp())
+	s.Metrics[name+"_allocs_op"] = float64(res.AllocsPerOp())
+	for metric, v := range res.Extra {
+		s.Metrics[name+"_"+sanitize(metric)] = v
+	}
+	return res
+}
+
+func sanitize(metric string) string {
+	out := make([]rune, 0, len(metric))
+	for _, r := range metric {
+		if r == '/' {
+			out = append(out, '_', 'p', 'e', 'r', '_')
+		} else {
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,13 @@
+//go:build !simdebug
+
+package netsim
+
+// debugCheckLive, debugAlloc, debugPoison, and debugDoubleFree are no-ops in
+// release builds, so the pool tripwires cost nothing on the hot path. Build
+// with `-tags simdebug` for the checked versions, which panic on any use of
+// a recycled packet.
+func (p *Packet) debugCheckLive(string) {}
+
+func (p *Packet) debugAlloc()      {}
+func (p *Packet) debugPoison()     {}
+func (p *Packet) debugDoubleFree() {}

@@ -1,0 +1,42 @@
+//go:build simdebug
+
+package netsim
+
+import "fmt"
+
+// poisonSeq is written into recycled packets so stale reads see an absurd
+// sequence number even if they bypass the panics below.
+const poisonSeq int64 = -0x5151515151515151
+
+// debugCheckLive panics when a packet that sits in a pool's free list is
+// handed back to the fabric — a use-after-free that silently corrupts runs
+// in release builds if a caller violates the ownership contract. The fabric
+// calls it at every packet entry point (Host.Send/Receive, Switch.Receive,
+// Port.Enqueue).
+func (p *Packet) debugCheckLive(site string) {
+	if p.pooled {
+		panic(fmt.Sprintf("netsim: %s on recycled packet (gen %d): packet retained after delivery or drop", site, p.gen))
+	}
+}
+
+// debugAlloc validates a packet coming off the free list and clears the
+// poison so callers see a fully zeroed packet.
+func (p *Packet) debugAlloc() {
+	if !p.pooled {
+		panic(fmt.Sprintf("netsim: free list returned a live packet (gen %d)", p.gen))
+	}
+	if p.Seq != poisonSeq {
+		panic(fmt.Sprintf("netsim: free-list packet not poisoned (seq=%d, gen %d): double release or external write", p.Seq, p.gen))
+	}
+	p.Seq = 0
+}
+
+// debugPoison marks a packet as it enters the free list.
+func (p *Packet) debugPoison() {
+	p.Seq = poisonSeq
+}
+
+// debugDoubleFree panics on a second Put of the same packet.
+func (p *Packet) debugDoubleFree() {
+	panic(fmt.Sprintf("netsim: double free of packet (gen %d)", p.gen))
+}

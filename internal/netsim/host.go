@@ -8,6 +8,11 @@ import (
 
 // Handler receives packets addressed to a flow terminating at a host.
 // TCP senders/receivers and UDP sinks implement it.
+//
+// On hosts with a packet pool installed (every topology built by
+// internal/topo), the delivered packet is recycled as soon as Deliver
+// returns: implementations must not retain pkt or its Sacks backing array
+// past the call. Values copied out of the packet are, of course, fine.
 type Handler interface {
 	Deliver(pkt *Packet)
 }
@@ -25,6 +30,7 @@ type Host struct {
 	Delay sim.Time
 
 	handlers map[FlowID]Handler
+	pool     *PacketPool
 
 	// Counters.
 	RxPackets  int64
@@ -37,17 +43,33 @@ type Host struct {
 // unbounded: the sending transport's window, not the local NIC, is the
 // modeled bottleneck.
 func NewHost(eng *sim.Engine, id NodeID, rateBps int64, delay sim.Time) *Host {
-	return &Host{
+	h := &Host{
 		eng:      eng,
 		id:       id,
 		NIC:      NewPort(eng, rateBps),
 		Delay:    delay,
 		handlers: make(map[FlowID]Handler),
 	}
+	h.NIC.Q.Presize(256)
+	return h
 }
 
 // ID returns the host's node identifier.
 func (h *Host) ID() NodeID { return h.id }
+
+// UsePool routes the host's packet lifecycle through pl: NewPacket draws
+// from it, and packets this host consumes (delivered or unclaimed) are
+// recycled into it.
+func (h *Host) UsePool(pl *PacketPool) {
+	h.pool = pl
+	h.NIC.pool = pl
+}
+
+// NewPacket returns a zeroed packet, drawn from the host's pool when one is
+// installed (heap-allocated otherwise). Pool-drawn packets are recycled by
+// the fabric at their terminal point — see the PacketPool ownership
+// contract.
+func (h *Host) NewPacket() *Packet { return h.pool.Get() }
 
 // Register attaches a flow handler; packets for flow are delivered to it.
 func (h *Host) Register(flow FlowID, hd Handler) {
@@ -62,8 +84,9 @@ func (h *Host) Unregister(flow FlowID) { delete(h.handlers, flow) }
 
 // Send emits a packet from this host after the host processing delay.
 func (h *Host) Send(pkt *Packet) {
+	pkt.debugCheckLive("Host.Send")
 	if h.Delay > 0 {
-		h.eng.Schedule(h.Delay, func() { h.NIC.Enqueue(pkt) })
+		pkt.scheduleStep(h.eng, h.Delay, stepEnqueue, h, 0)
 	} else {
 		h.NIC.Enqueue(pkt)
 	}
@@ -71,19 +94,23 @@ func (h *Host) Send(pkt *Packet) {
 
 // Receive implements Device.
 func (h *Host) Receive(pkt *Packet, _ int) {
+	pkt.debugCheckLive("Host.Receive")
 	h.RxPackets++
 	h.RxBytes += int64(pkt.Size)
 	if h.Delay > 0 {
-		h.eng.Schedule(h.Delay, func() { h.deliver(pkt) })
+		pkt.scheduleStep(h.eng, h.Delay, stepDeliver, h, 0)
 	} else {
 		h.deliver(pkt)
 	}
 }
 
+// deliver hands the packet to its flow's handler and then recycles it: the
+// host is every packet's terminal point on the success path.
 func (h *Host) deliver(pkt *Packet) {
 	if hd, ok := h.handlers[pkt.Flow]; ok {
 		hd.Deliver(pkt)
-		return
+	} else {
+		h.Unclaimed++
 	}
-	h.Unclaimed++
+	h.pool.Put(pkt)
 }

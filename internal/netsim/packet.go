@@ -63,7 +63,9 @@ const HeaderBytes = 40
 
 // Packet is one simulated packet. Packets are passed by pointer and are not
 // copied as they traverse the fabric; a packet must not be reused by the
-// sender after it has been handed to the network.
+// sender after it has been handed to the network. Packets drawn from a
+// PacketPool (Host.NewPacket) are additionally recycled by the fabric once
+// consumed — see the PacketPool ownership contract.
 type Packet struct {
 	Flow     FlowID
 	Src, Dst NodeID
@@ -113,6 +115,60 @@ type Packet struct {
 	// PFC ingress accounting (set by switches with PFC enabled).
 	pfcSw *Switch
 	pfcIn int
+
+	// Hop-step scratch state: a packet has at most one pending fabric event
+	// at a time (propagation, forwarding pipeline, or host delay), so the
+	// pending hop is encoded in these fields and dispatched through the
+	// single prebuilt stepFn closure instead of a fresh closure per hop.
+	// stepFn survives pool recycling, so after warm-up forwarding a packet
+	// across the fabric performs zero allocations.
+	step     uint8
+	stepPort int32
+	stepDev  Device
+	stepFn   func()
+
+	// Free-list management (see PacketPool).
+	owned  bool   // drawn from a pool; recycled at the packet's terminal point
+	pooled bool   // currently in the free list (simdebug tripwire)
+	gen    uint32 // incremented on each recycle (simdebug diagnostics)
+}
+
+// Hop steps a packet can be waiting on. stepIdle (zero) means no pending
+// fabric event.
+const (
+	stepIdle    uint8 = iota
+	stepReceive       // link propagation done -> Device.Receive
+	stepForward       // switch forwarding pipeline done -> Switch.forward
+	stepDeliver       // host ingress delay done -> Host.deliver
+	stepEnqueue       // host egress delay done -> NIC enqueue
+)
+
+// scheduleStep arms the packet's single pending hop: after d, dev is invoked
+// per step. The one-pending-event invariant holds because each fabric stage
+// schedules the next only from inside the previous stage's completion.
+func (p *Packet) scheduleStep(eng *sim.Engine, d sim.Time, step uint8, dev Device, port int) {
+	p.step, p.stepDev, p.stepPort = step, dev, int32(port)
+	if p.stepFn == nil {
+		p.stepFn = p.runStep
+	}
+	eng.Schedule(d, p.stepFn)
+}
+
+func (p *Packet) runStep() {
+	step, dev, port := p.step, p.stepDev, int(p.stepPort)
+	// Clear before dispatch: the step may end in the pool, which must not
+	// retain device references.
+	p.step, p.stepDev = stepIdle, nil
+	switch step {
+	case stepReceive:
+		dev.Receive(p, port)
+	case stepForward:
+		dev.(*Switch).forward(p)
+	case stepDeliver:
+		dev.(*Host).deliver(p)
+	case stepEnqueue:
+		dev.(*Host).NIC.Enqueue(p)
+	}
 }
 
 func (p *Packet) String() string {

@@ -1,0 +1,226 @@
+package netsim
+
+import (
+	"testing"
+
+	"flowbender/internal/sim"
+)
+
+func TestPacketPoolRecycle(t *testing.T) {
+	pl := NewPacketPool()
+	p1 := pl.Get()
+	p1.Seq = 42
+	p1.Sacks = append(p1.Sacks, SackBlock{Start: 1, End: 2})
+	p1.CE = true
+	p1.Hops = 3
+	sackCap := cap(p1.Sacks)
+	pl.Put(p1)
+
+	// LIFO reuse: the same object comes back, fully zeroed, with the Sacks
+	// backing array retained.
+	p2 := pl.Get()
+	if p2 != p1 {
+		t.Fatal("pool did not recycle the freed packet")
+	}
+	if p2.Seq != 0 || p2.CE || p2.Hops != 0 || len(p2.Sacks) != 0 {
+		t.Fatalf("recycled packet not zeroed: %+v", p2)
+	}
+	if cap(p2.Sacks) != sackCap {
+		t.Fatalf("Sacks capacity not retained: %d, want %d", cap(p2.Sacks), sackCap)
+	}
+	if pl.Gets != 2 || pl.Puts != 1 || pl.Misses != 1 || pl.Live() != 1 {
+		t.Fatalf("counters: gets=%d puts=%d misses=%d live=%d", pl.Gets, pl.Puts, pl.Misses, pl.Live())
+	}
+}
+
+func TestPacketPoolNilSafe(t *testing.T) {
+	var pl *PacketPool
+	pkt := pl.Get()
+	if pkt == nil {
+		t.Fatal("nil pool Get returned nil")
+	}
+	pl.Put(pkt) // no-op
+	if pl.Live() != 0 {
+		t.Fatal("nil pool Live != 0")
+	}
+}
+
+// Packets built with composite literals (tests, tools, udp.Probe) must pass
+// through pooled fabrics untouched: Put ignores them.
+func TestPacketPoolIgnoresForeignPackets(t *testing.T) {
+	pl := NewPacketPool()
+	foreign := &Packet{Seq: 9}
+	pl.Put(foreign)
+	if pl.Puts != 0 || foreign.Seq != 9 {
+		t.Fatalf("pool recycled a foreign packet (puts=%d, seq=%d)", pl.Puts, foreign.Seq)
+	}
+}
+
+func TestPacketPoolDoubleFree(t *testing.T) {
+	if sim.Debug {
+		t.Skip("simdebug panics on double free (TestSimdebugPacketTripwires)")
+	}
+	pl := NewPacketPool()
+	pkt := pl.Get()
+	pl.Put(pkt)
+	pl.Put(pkt) // release builds: ignored, free list stays consistent
+	if pl.Puts != 1 {
+		t.Fatalf("double free recorded twice (puts=%d)", pl.Puts)
+	}
+	a, b := pl.Get(), pl.Get()
+	if a == b {
+		t.Fatal("double free aliased two live packets")
+	}
+}
+
+// End-to-end recycling through a minimal pooled fabric: host -> switch ->
+// host, with the delivered packet recycled after the handler returns and the
+// pool's live count returning to zero.
+func TestFabricRecyclesPackets(t *testing.T) {
+	eng := sim.NewEngine()
+	pl := NewPacketPool()
+	src := NewHost(eng, 0, 10_000_000_000, 0)
+	dst := NewHost(eng, 1, 10_000_000_000, 0)
+	sw := NewSwitch(eng, 2, 2, 10_000_000_000, SwitchConfig{})
+	WireHost(src, sw, 0, sim.Microsecond)
+	WireHost(dst, sw, 1, sim.Microsecond)
+	sw.SetRoutes([][]int32{{0}, {1}})
+	src.UsePool(pl)
+	dst.UsePool(pl)
+	sw.UsePool(pl)
+
+	delivered := 0
+	dst.Register(7, handlerFunc(func(pkt *Packet) {
+		if pkt.Seq != int64(delivered)*100 {
+			t.Errorf("payload corrupted: seq=%d, want %d", pkt.Seq, delivered*100)
+		}
+		delivered++
+	}))
+	for i := 0; i < 50; i++ {
+		pkt := src.NewPacket()
+		pkt.Flow = 7
+		pkt.Dst = 1
+		pkt.Seq = int64(i) * 100
+		pkt.Size = 1000
+		src.Send(pkt)
+		eng.RunUntilIdle()
+	}
+	if delivered != 50 {
+		t.Fatalf("delivered %d packets, want 50", delivered)
+	}
+	if pl.Live() != 0 {
+		t.Fatalf("pool leaked: %d packets still live", pl.Live())
+	}
+	// Sequential sends reuse one warm packet: only the first Get misses.
+	if pl.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (recycling broken)", pl.Misses)
+	}
+}
+
+// Packets dropped inside the fabric (full queue, down link, gray link, no
+// route) must be recycled at the drop site, not leaked.
+func TestDropSitesRecyclePackets(t *testing.T) {
+	eng := sim.NewEngine()
+	pl := NewPacketPool()
+	src := NewHost(eng, 0, 10_000_000_000, 0)
+	dst := NewHost(eng, 1, 10_000_000_000, 0)
+	sw := NewSwitch(eng, 2, 2, 10_000_000_000, SwitchConfig{QueueCap: 1500})
+	WireHost(src, sw, 0, 0)
+	WireHost(dst, sw, 1, 0)
+	sw.SetRoutes([][]int32{{0}, {1}})
+	src.UsePool(pl)
+	dst.UsePool(pl)
+	sw.UsePool(pl)
+
+	dst.Register(7, handlerFunc(func(*Packet) {}))
+
+	// Queue overflow: a slow egress port makes the burst overrun the
+	// 1500-byte cap.
+	sw.Ports[1].RateBps = 1_000_000_000
+	for i := 0; i < 10; i++ {
+		pkt := src.NewPacket()
+		pkt.Flow = 7
+		pkt.Dst = 1
+		pkt.Size = 1000
+		src.Send(pkt)
+	}
+	eng.RunUntilIdle()
+	if sw.Ports[1].Q.Dropped == 0 {
+		t.Fatal("expected queue drops")
+	}
+	if pl.Live() != 0 {
+		t.Fatalf("queue drops leaked %d packets", pl.Live())
+	}
+
+	// Down link.
+	sw.Ports[1].Link.SetDown(true)
+	pkt := src.NewPacket()
+	pkt.Flow = 7
+	pkt.Dst = 1
+	pkt.Size = 1000
+	src.Send(pkt)
+	eng.RunUntilIdle()
+	if sw.Ports[1].Link.DroppedDown != 1 || pl.Live() != 0 {
+		t.Fatalf("down-link drop leaked (droppedDown=%d live=%d)",
+			sw.Ports[1].Link.DroppedDown, pl.Live())
+	}
+	sw.Ports[1].Link.SetDown(false)
+
+	// Gray link.
+	sw.Ports[1].Link.DropFn = func(*Packet) bool { return true }
+	pkt = src.NewPacket()
+	pkt.Flow = 7
+	pkt.Dst = 1
+	pkt.Size = 1000
+	src.Send(pkt)
+	eng.RunUntilIdle()
+	if sw.Ports[1].Link.DroppedGray != 1 || pl.Live() != 0 {
+		t.Fatalf("gray drop leaked (droppedGray=%d live=%d)",
+			sw.Ports[1].Link.DroppedGray, pl.Live())
+	}
+	sw.Ports[1].Link.DropFn = nil
+
+	// No route.
+	sw.SetRoutes([][]int32{{0}, {}})
+	pkt = src.NewPacket()
+	pkt.Flow = 7
+	pkt.Dst = 1
+	pkt.Size = 1000
+	src.Send(pkt)
+	eng.RunUntilIdle()
+	if sw.NoRoute != 1 || pl.Live() != 0 {
+		t.Fatalf("no-route drop leaked (noRoute=%d live=%d)", sw.NoRoute, pl.Live())
+	}
+}
+
+// Under -tags simdebug, retaining a pooled packet past its terminal point
+// and re-injecting it panics at the fabric entry points.
+func TestSimdebugPacketTripwires(t *testing.T) {
+	if !sim.Debug {
+		t.Skip("requires -tags simdebug")
+	}
+	eng := sim.NewEngine()
+	pl := NewPacketPool()
+	h := NewHost(eng, 0, 10_000_000_000, 0)
+	h.UsePool(pl)
+	h.Register(1, handlerFunc(func(*Packet) {}))
+
+	pkt := h.NewPacket()
+	pkt.Flow = 1
+	h.Receive(pkt, 0) // delivered synchronously, then recycled
+
+	mustPanicNetsim(t, "Send of recycled packet", func() { h.Send(pkt) })
+	mustPanicNetsim(t, "Receive of recycled packet", func() { h.Receive(pkt, 0) })
+	mustPanicNetsim(t, "Enqueue of recycled packet", func() { h.NIC.Enqueue(pkt) })
+	mustPanicNetsim(t, "double free", func() { pl.Put(pkt) })
+}
+
+func mustPanicNetsim(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}

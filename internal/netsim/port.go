@@ -53,6 +53,15 @@ type Port struct {
 	busy   bool
 	paused bool
 
+	// pool, when set, recycles packets this port's link drops.
+	pool *PacketPool
+	// txPkt is the packet currently serializing; txDone is the prebuilt
+	// completion callback, so starting a transmission allocates nothing.
+	txPkt  *Packet
+	txDone func()
+	// pauseFn/resumeFn are the prebuilt PFC control-frame callbacks.
+	pauseFn, resumeFn func()
+
 	// onSent, if set, runs when a packet's serialization completes (used by
 	// PFC switches to release ingress accounting).
 	onSent func(pkt *Packet)
@@ -65,7 +74,11 @@ type Port struct {
 
 // NewPort returns a port transmitting at rateBps driven by eng.
 func NewPort(eng *sim.Engine, rateBps int64) *Port {
-	return &Port{eng: eng, RateBps: rateBps}
+	p := &Port{eng: eng, RateBps: rateBps}
+	p.txDone = p.finishTx
+	p.pauseFn = func() { p.SetPaused(true) }
+	p.resumeFn = func() { p.SetPaused(false) }
+	return p
 }
 
 // SerializationDelay returns the time to put size bytes on the wire.
@@ -74,8 +87,10 @@ func (p *Port) SerializationDelay(size int) sim.Time {
 }
 
 // Enqueue offers a packet to the port. It returns false if the queue dropped
-// the packet.
+// the packet (the caller owns a rejected packet and is responsible for
+// recycling it).
 func (p *Port) Enqueue(pkt *Packet) bool {
+	pkt.debugCheckLive("Port.Enqueue")
 	if !p.Q.Push(pkt) {
 		return false
 	}
@@ -107,25 +122,35 @@ func (p *Port) kick() {
 	}
 	pkt := p.Q.Pop()
 	p.busy = true
-	p.eng.Schedule(p.SerializationDelay(pkt.Size), func() {
-		p.busy = false
-		p.TxBytes[pkt.Proto] += int64(pkt.Size)
-		p.TxPackets++
-		if p.onSent != nil {
-			p.onSent(pkt)
-		}
-		if p.Link.Down || p.Link.To == nil {
-			p.Link.DroppedDown++
-		} else if p.Link.DropFn != nil && p.Link.DropFn(pkt) {
-			p.Link.DroppedGray++
-		} else {
-			to, toPort := p.Link.To, p.Link.ToPort
-			if p.Link.Delay > 0 {
-				p.eng.Schedule(p.Link.Delay, func() { to.Receive(pkt, toPort) })
-			} else {
-				to.Receive(pkt, toPort)
-			}
-		}
-		p.kick()
-	})
+	p.txPkt = pkt
+	p.eng.Schedule(p.SerializationDelay(pkt.Size), p.txDone)
+}
+
+// finishTx completes the current packet's serialization: counters, the
+// onSent hook (PFC/shared-buffer release), then the link outcome — loss on
+// a down or gray link (recycling the packet) or handoff to the peer device.
+// Statement order matters: events scheduled here (PFC control frames,
+// propagation) must be created in exactly the order the pre-pooling closure
+// produced, so runs stay bit-identical.
+func (p *Port) finishTx() {
+	pkt := p.txPkt
+	p.txPkt = nil
+	p.busy = false
+	p.TxBytes[pkt.Proto] += int64(pkt.Size)
+	p.TxPackets++
+	if p.onSent != nil {
+		p.onSent(pkt)
+	}
+	if p.Link.Down || p.Link.To == nil {
+		p.Link.DroppedDown++
+		p.pool.Put(pkt)
+	} else if p.Link.DropFn != nil && p.Link.DropFn(pkt) {
+		p.Link.DroppedGray++
+		p.pool.Put(pkt)
+	} else if p.Link.Delay > 0 {
+		pkt.scheduleStep(p.eng, p.Link.Delay, stepReceive, p.Link.To, p.Link.ToPort)
+	} else {
+		p.Link.To.Receive(pkt, p.Link.ToPort)
+	}
+	p.kick()
 }

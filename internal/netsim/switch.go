@@ -60,6 +60,7 @@ type Switch struct {
 	// table maps destination host NodeID -> eligible egress ports.
 	table [][]int32
 	sel   Selector
+	pool  *PacketPool
 
 	// PFC ingress accounting.
 	ingressBytes []int
@@ -87,18 +88,37 @@ func NewSwitch(eng *sim.Engine, id NodeID, nPorts int, rateBps int64, cfg Switch
 		ingressBytes: make([]int, nPorts),
 		pausedUp:     make([]bool, nPorts),
 	}
+	// Pre-size the egress queues so steady-state enqueues rarely grow the
+	// backing array: capacity for a queue full of MSS-sized packets (ACK
+	// bursts can still exceed this and fall back to amortized append).
+	slots := 256
+	if cfg.PFC == nil && cfg.QueueCap > 0 {
+		if slots = cfg.QueueCap/1500 + 16; slots > 4096 {
+			slots = 4096
+		}
+	}
 	for i := range s.Ports {
 		p := NewPort(eng, rateBps)
 		p.Q.MarkK = cfg.MarkK
 		if cfg.PFC == nil {
 			p.Q.Cap = cfg.QueueCap
 		}
+		p.Q.Presize(slots)
 		if cfg.PFC != nil || cfg.SharedBuffer > 0 {
 			p.onSent = s.onPortSent
 		}
 		s.Ports[i] = p
 	}
 	return s
+}
+
+// UsePool makes the switch (and its egress ports) recycle packets dropped
+// inside the fabric into pl.
+func (s *Switch) UsePool(pl *PacketPool) {
+	s.pool = pl
+	for _, p := range s.Ports {
+		p.pool = pl
+	}
 }
 
 // onPortSent releases per-packet buffer accounting when an egress port
@@ -154,6 +174,7 @@ func (s *Switch) MarkingEnabled() bool {
 
 // Receive implements Device.
 func (s *Switch) Receive(pkt *Packet, inPort int) {
+	pkt.debugCheckLive("Switch.Receive")
 	s.RxPackets++
 	if s.cfg.PFC != nil {
 		s.ingressBytes[inPort] += pkt.Size
@@ -163,7 +184,7 @@ func (s *Switch) Receive(pkt *Packet, inPort int) {
 	}
 	pkt.Hops++
 	if s.cfg.FwdDelay > 0 {
-		s.eng.Schedule(s.cfg.FwdDelay, func() { s.forward(pkt) })
+		pkt.scheduleStep(s.eng, s.cfg.FwdDelay, stepForward, s, inPort)
 	} else {
 		s.forward(pkt)
 	}
@@ -179,6 +200,7 @@ func (s *Switch) forward(pkt *Packet) {
 	case len(eligible) == 0:
 		s.NoRoute++
 		s.dropPFC(pkt)
+		s.pool.Put(pkt)
 		return
 	case len(eligible) == 1:
 		out = eligible[0]
@@ -188,11 +210,13 @@ func (s *Switch) forward(pkt *Packet) {
 	if sb := s.cfg.SharedBuffer; sb > 0 && s.buffered+int64(pkt.Size) > int64(sb) {
 		s.DropsNoBuf++
 		s.dropPFC(pkt)
+		s.pool.Put(pkt)
 		return
 	}
 	if !s.Ports[out].Enqueue(pkt) {
 		s.DropsNoBuf++
 		s.dropPFC(pkt)
+		s.pool.Put(pkt)
 		return
 	}
 	if s.cfg.SharedBuffer > 0 {
@@ -242,7 +266,11 @@ func (s *Switch) checkPause(in int) {
 func (s *Switch) sendPFC(up *Port, pause bool) {
 	d := up.Link.Delay
 	if d > 0 {
-		s.eng.Schedule(d, func() { up.SetPaused(pause) })
+		fn := up.resumeFn
+		if pause {
+			fn = up.pauseFn
+		}
+		s.eng.Schedule(d, fn)
 	} else {
 		up.SetPaused(pause)
 	}

@@ -1,0 +1,15 @@
+//go:build !simdebug
+
+package sim
+
+// Debug reports whether the simdebug build tag is active. Tests use it to
+// assert poisoning semantics only in debug builds.
+const Debug = false
+
+// debugAccess, debugAlloc, and debugRelease are no-ops in release builds;
+// they compile to nothing, so the pooling tripwires cost zero on the hot
+// path. Build with `-tags simdebug` for the checked versions.
+func (e *Event) debugAccess(string) {}
+
+func (e *Engine) debugAlloc(*Event)   {}
+func (e *Engine) debugRelease(*Event) {}

@@ -5,10 +5,32 @@
 // the same schedule of calls produce bit-identical results. All of the fabric,
 // transport, and workload packages in this repository are driven by a single
 // Engine instance per simulation run.
+//
+// # Hot-path design
+//
+// Schedule/Step are the innermost loop of every experiment, so the engine
+// avoids both allocation and interface dispatch there: the priority queue is
+// a monomorphic 4-ary index min-heap over *Event (shallower than a binary
+// heap, with all four children on one cache line of pointers, and no
+// container/heap `any` boxing), and fired or reclaimed-cancelled events are
+// recycled through a per-engine free list, making steady-state scheduling
+// allocation-free.
+//
+// # Event handle lifetime
+//
+// Because fired events are recycled, an *Event handle is only meaningful
+// until its callback has run (or, for cancelled events, until the engine
+// reclaims them). Holding a handle past that point is safe — Fired,
+// Cancelled, and Cancel never panic or corrupt the engine, and a handle in
+// the free list still reports its final Fired/Cancelled state — but once the
+// engine reuses the object for a new event the handle observes the new
+// incarnation. Callers that retain handles (e.g. retransmission timers) must
+// therefore drop them when the callback runs, as every transport in this
+// repository does. Build with `-tags simdebug` to turn any access to a
+// recycled handle into a panic with generation diagnostics.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -34,38 +56,48 @@ func (t Time) String() string { return time.Duration(t).String() }
 
 // Event is a handle to a scheduled callback. It can be cancelled before it
 // fires; cancelling an already-fired or already-cancelled event is a no-op.
+// See the package comment for the handle-lifetime contract under event
+// recycling.
 type Event struct {
 	at     Time
 	seq    uint64
 	fn     func()
-	index  int // heap index, -1 when not in the heap
+	index  int32 // heap index, -1 when not in the heap
 	fired  bool
 	cancel bool
+	pooled bool   // in the engine's free list awaiting reuse
+	gen    uint32 // incremented each time the object is recycled (simdebug)
 }
 
 // Cancelled reports whether Cancel was called before the event fired.
-func (e *Event) Cancelled() bool { return e.cancel }
+func (e *Event) Cancelled() bool { e.debugAccess("Cancelled"); return e.cancel }
 
 // Fired reports whether the event's callback has run.
-func (e *Event) Fired() bool { return e.fired }
+func (e *Event) Fired() bool { e.debugAccess("Fired"); return e.fired }
 
 // Time returns the virtual time at which the event fires or fired.
-func (e *Event) Time() Time { return e.at }
+func (e *Event) Time() Time { e.debugAccess("Time"); return e.at }
 
 // Engine is a discrete-event scheduler. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
 	now     Time
 	seq     uint64
-	pq      eventHeap
+	heap    []*Event // 4-ary min-heap ordered by (at, seq)
+	free    []*Event // recycled Event objects
+	nCancel int      // cancelled events still occupying heap slots
 	stopped bool
 	// Executed counts events that have run, for diagnostics and tests.
 	Executed uint64
 }
 
+// compactMin is the heap size below which lazy-deleted (cancelled) events
+// are never compacted — popping drains small heaps quickly anyway.
+const compactMin = 64
+
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{pq: make(eventHeap, 0, 1024)}
+	return &Engine{heap: make([]*Event, 0, 1024)}
 }
 
 // Now returns the current virtual time.
@@ -84,34 +116,103 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule into the past: %d < %d", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.pq, ev)
+	e.push(ev)
 	return ev
+}
+
+// alloc takes an Event from the free list, or heap-allocates the first time.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.debugAlloc(ev)
+		ev.fired = false
+		ev.cancel = false
+		ev.pooled = false
+		return ev
+	}
+	return &Event{}
+}
+
+// release returns a dead event (fired, or cancelled and reclaimed) to the
+// free list. The fired/cancel flags are left intact so a stale handle keeps
+// reporting its final state until the object is reused.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	ev.pooled = true
+	ev.gen++
+	e.debugRelease(ev)
+	e.free = append(e.free, ev)
 }
 
 // Cancel prevents a pending event from firing.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.fired || ev.cancel {
+	if ev == nil {
+		return
+	}
+	ev.debugAccess("Cancel")
+	if ev.fired || ev.cancel {
 		return
 	}
 	ev.cancel = true
-	// The event stays in the heap and is skipped when popped. This keeps
-	// Cancel O(1); cancelled events are reclaimed lazily.
+	// The event stays in the heap and is skipped when popped: Cancel is
+	// O(1). When cancelled events outnumber live ones the heap is compacted
+	// in one pass, so cancel-heavy workloads (retransmission timers are
+	// re-armed on every ACK) cannot grow the heap without bound.
+	e.nCancel++
+	if e.nCancel*2 > len(e.heap) && len(e.heap) >= compactMin {
+		e.compact()
+	}
+}
+
+// compact removes every cancelled event from the heap in one pass and
+// re-establishes the heap property. Relative order of live events is
+// irrelevant for correctness: the (at, seq) key is a total order, so the
+// rebuilt heap pops in exactly the same sequence.
+func (e *Engine) compact() {
+	h := e.heap
+	keep := h[:0]
+	for _, ev := range h {
+		if ev.cancel {
+			ev.index = -1
+			e.release(ev)
+		} else {
+			ev.index = int32(len(keep))
+			keep = append(keep, ev)
+		}
+	}
+	for i := len(keep); i < len(h); i++ {
+		h[i] = nil
+	}
+	e.heap = keep
+	e.nCancel = 0
+	for i := (len(keep) - 2) >> 2; i >= 0; i-- {
+		e.siftDown(i)
+	}
 }
 
 // Step executes the single next event. It returns false when no runnable
 // events remain.
 func (e *Engine) Step() bool {
-	for len(e.pq) > 0 {
-		ev := heap.Pop(&e.pq).(*Event)
+	for len(e.heap) > 0 {
+		ev := e.popRoot()
 		if ev.cancel {
+			e.nCancel--
+			e.release(ev)
 			continue
 		}
 		e.now = ev.at
 		ev.fired = true
-		ev.fn()
+		fn := ev.fn
+		fn()
 		e.Executed++
+		e.release(ev)
 		return true
 	}
 	return false
@@ -149,45 +250,90 @@ func (e *Engine) RunUntilIdle() {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending returns the number of scheduled (possibly cancelled) events.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 func (e *Engine) peek() *Event {
-	for len(e.pq) > 0 {
-		if e.pq[0].cancel {
-			heap.Pop(&e.pq)
-			continue
+	for len(e.heap) > 0 {
+		if top := e.heap[0]; !top.cancel {
+			return top
 		}
-		return e.pq[0]
+		ev := e.popRoot()
+		e.nCancel--
+		e.release(ev)
 	}
 	return nil
 }
 
-// eventHeap is a min-heap ordered by (time, seq).
-type eventHeap []*Event
+// --- 4-ary index min-heap over *Event, ordered by (at, seq) ---
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (e *Engine) push(ev *Event) {
+	i := len(e.heap)
+	e.heap = append(e.heap, ev)
+	// Sift up without writing ev into each visited slot.
+	for i > 0 {
+		p := (i - 1) >> 2
+		par := e.heap[p]
+		if !less(ev, par) {
+			break
+		}
+		e.heap[i] = par
+		par.index = int32(i)
+		i = p
+	}
+	e.heap[i] = ev
+	ev.index = int32(i)
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+func (e *Engine) popRoot() *Event {
+	h := e.heap
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.heap = h[:n]
+	root.index = -1
+	if n > 0 {
+		e.heap[0] = last
+		last.index = 0
+		e.siftDown(0)
+	}
+	return root
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	ev := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		// Minimum of up to four children.
+		m, mc := c, h[c]
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if less(h[k], mc) {
+				m, mc = k, h[k]
+			}
+		}
+		if !less(mc, ev) {
+			break
+		}
+		h[i] = mc
+		mc.index = int32(i)
+		i = m
+	}
+	h[i] = ev
+	ev.index = int32(i)
 }

@@ -1,0 +1,148 @@
+package sim
+
+import "testing"
+
+// Tests for the event free list: recycled-handle semantics in release
+// builds, panic tripwires under -tags simdebug, the compaction bound on
+// cancel-heavy workloads, and allocation-freedom of the steady state.
+
+// mustPanic asserts fn panics (simdebug tripwires).
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// In release builds a handle retained past its callback is harmless: it
+// reports its final state until the engine reuses the object, Cancel on it
+// is a no-op, and the engine stays consistent throughout.
+func TestRecycledHandleSafety(t *testing.T) {
+	if Debug {
+		t.Skip("release-mode semantics; simdebug panics instead (TestSimdebugTripwires)")
+	}
+	eng := NewEngine()
+	ev := eng.Schedule(1, func() {})
+	eng.RunUntilIdle()
+
+	// Stale reads are safe and sticky.
+	if !ev.Fired() || ev.Cancelled() {
+		t.Fatalf("stale handle state: fired=%v cancelled=%v", ev.Fired(), ev.Cancelled())
+	}
+	// Cancel on a fired (recycled) handle is a no-op.
+	eng.Cancel(ev)
+
+	// The free list is LIFO, so the next Schedule reuses the same object —
+	// this is the documented hazard: the stale handle now observes the new
+	// incarnation.
+	fired := false
+	ev2 := eng.Schedule(5, func() { fired = true })
+	if ev2 != ev {
+		t.Fatalf("free list did not recycle the fired event object")
+	}
+	if ev.Fired() || ev.Time() != eng.Now()+5 {
+		t.Fatalf("recycled object not reset: fired=%v at=%d", ev.Fired(), ev.Time())
+	}
+	eng.RunUntilIdle()
+	if !fired || eng.Executed != 2 {
+		t.Fatalf("engine inconsistent after recycling: fired=%v executed=%d", fired, eng.Executed)
+	}
+}
+
+// Under -tags simdebug any access to a recycled handle panics with
+// generation diagnostics instead of silently reading pooled state.
+func TestSimdebugTripwires(t *testing.T) {
+	if !Debug {
+		t.Skip("requires -tags simdebug")
+	}
+	eng := NewEngine()
+	ev := eng.Schedule(1, func() {})
+	eng.RunUntilIdle()
+	mustPanic(t, "Fired on recycled handle", func() { ev.Fired() })
+	mustPanic(t, "Cancelled on recycled handle", func() { ev.Cancelled() })
+	mustPanic(t, "Time on recycled handle", func() { ev.Time() })
+	mustPanic(t, "Cancel on recycled handle", func() { eng.Cancel(ev) })
+}
+
+// Cancel/reschedule churn — the retransmission-timer pattern, where every
+// ACK cancels and re-arms an RTO — must not grow the heap without bound:
+// compaction reclaims lazily-deleted events once they outnumber live ones.
+func TestCancelChurnBounded(t *testing.T) {
+	eng := NewEngine()
+	fn := func() {}
+	// A population of live far-future events keeps the heap non-trivial.
+	const liveN = 40
+	for i := 0; i < liveN; i++ {
+		eng.Schedule(1_000_000+Time(i), fn)
+	}
+	maxPending := 0
+	for i := 0; i < 200_000; i++ {
+		ev := eng.Schedule(500_000+Time(i%97), fn)
+		eng.Cancel(ev)
+		if p := eng.Pending(); p > maxPending {
+			maxPending = p
+		}
+	}
+	// Bound: live events + at most ~one compaction's worth of cancelled
+	// slack (cancelled may reach the live count plus the compactMin floor
+	// before a compaction triggers).
+	if limit := 2*(liveN+compactMin) + 2; maxPending > limit {
+		t.Fatalf("heap grew to %d entries under cancel churn (limit %d)", maxPending, limit)
+	}
+	eng.RunUntilIdle()
+	if eng.Executed != liveN {
+		t.Fatalf("executed %d, want %d (cancelled event ran or live event lost)", eng.Executed, liveN)
+	}
+}
+
+// Compaction must preserve the exact (time, seq) pop order of the surviving
+// events.
+func TestCompactionPreservesOrder(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	var cancels []*Event
+	for i := 0; i < 300; i++ {
+		i := i
+		if i%3 == 0 {
+			// Live events at descending times, so heap order is nontrivial.
+			eng.At(Time(1000-i), func() { got = append(got, 1000-i) })
+		} else {
+			cancels = append(cancels, eng.At(Time(2000+i), func() { t.Error("cancelled event ran") }))
+		}
+	}
+	for _, ev := range cancels {
+		eng.Cancel(ev) // triggers at least one compaction along the way
+	}
+	eng.RunUntilIdle()
+	if len(got) != 100 {
+		t.Fatalf("fired %d live events, want 100", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order after compaction: %v", got)
+		}
+	}
+}
+
+// Steady-state scheduling must be allocation-free: after warm-up every
+// Schedule is served from the free list and firing releases back into it.
+func TestScheduleSteadyStateAllocFree(t *testing.T) {
+	eng := NewEngine()
+	fn := func() {}
+	for i := 0; i < 1024; i++ { // warm the free list
+		eng.Schedule(Time(i%7), fn)
+	}
+	eng.RunUntilIdle()
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 256; i++ {
+			eng.Schedule(Time(i%11), fn)
+		}
+		eng.RunUntilIdle()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state scheduling allocates %.1f times per batch", allocs)
+	}
+}

@@ -28,12 +28,16 @@ type Receiver struct {
 	maxSeqSeen int64
 	sacked     intervalSet
 
-	// Delayed-ACK state.
+	// Delayed-ACK state. ackTimer is non-nil exactly while a delayed-ACK
+	// timer is pending: it is cleared both when the timer fires and when
+	// flushAck cancels it, so the handle is never read after the engine has
+	// recycled the event (the handle-lifetime contract in internal/sim).
 	ceState     bool   // CE bit of the most recent data packet
 	lastTag     uint32 // path tag of the most recent data packet (echoed)
 	pending     int    // in-order packets not yet acknowledged
 	pendingEcho sim.Time
 	ackTimer    *sim.Event
+	delackFn    func() // prebuilt timer callback
 
 	// Counters.
 	DataPackets int64
@@ -45,23 +49,40 @@ type Receiver struct {
 }
 
 func newReceiver(eng *sim.Engine, cfg Config, flow *Flow, srcPort, dstPort uint16) *Receiver {
-	return &Receiver{
+	r := &Receiver{
 		eng: eng, cfg: cfg, flow: flow,
 		srcPort: srcPort, dstPort: dstPort,
 		maxSeqSeen: -1, pendingEcho: -1,
+	}
+	r.delackFn = r.onDelackTimer
+	return r
+}
+
+// onDelackTimer fires the delayed-ACK timeout: flush whatever is pending.
+func (r *Receiver) onDelackTimer() {
+	r.ackTimer = nil
+	if r.pending > 0 {
+		r.flushAck(false, 0)
 	}
 }
 
 // Deliver implements netsim.Handler for the receiving host.
 func (r *Receiver) Deliver(pkt *netsim.Packet) {
 	if pkt.Kind == netsim.KindSyn {
-		r.flow.Dst.Send(&netsim.Packet{
-			Flow: r.flow.ID, Src: r.flow.Dst.ID(), Dst: r.flow.Src.ID(),
-			SrcPort: r.srcPort, DstPort: r.dstPort,
-			Proto: netsim.ProtoTCP, Kind: netsim.KindSynAck,
-			PathTag: pkt.PathTag, Size: netsim.HeaderBytes,
-			ECT: true, SentAt: r.eng.Now(), EchoTS: pkt.SentAt,
-		})
+		sa := r.flow.Dst.NewPacket()
+		sa.Flow = r.flow.ID
+		sa.Src = r.flow.Dst.ID()
+		sa.Dst = r.flow.Src.ID()
+		sa.SrcPort = r.srcPort
+		sa.DstPort = r.dstPort
+		sa.Proto = netsim.ProtoTCP
+		sa.Kind = netsim.KindSynAck
+		sa.PathTag = pkt.PathTag
+		sa.Size = netsim.HeaderBytes
+		sa.ECT = true
+		sa.SentAt = r.eng.Now()
+		sa.EchoTS = pkt.SentAt
+		r.flow.Dst.Send(sa)
 		return
 	}
 	if pkt.Kind != netsim.KindData {
@@ -131,36 +152,31 @@ func (r *Receiver) Deliver(pkt *netsim.Packet) {
 		r.flushAck(dup, reorderDist)
 		return
 	}
-	if r.ackTimer == nil || r.ackTimer.Fired() || r.ackTimer.Cancelled() {
-		r.ackTimer = r.eng.Schedule(r.cfg.DelayedAckTimeout, func() {
-			if r.pending > 0 {
-				r.flushAck(false, 0)
-			}
-		})
+	if r.ackTimer == nil {
+		r.ackTimer = r.eng.Schedule(r.cfg.DelayedAckTimeout, r.delackFn)
 	}
 }
 
 // flushAck emits the cumulative acknowledgment covering all pending data.
 func (r *Receiver) flushAck(dsack bool, reorderDist int64) {
-	ack := &netsim.Packet{
-		Flow:        r.flow.ID,
-		Src:         r.flow.Dst.ID(),
-		Dst:         r.flow.Src.ID(),
-		SrcPort:     r.srcPort,
-		DstPort:     r.dstPort,
-		Proto:       netsim.ProtoTCP,
-		Kind:        netsim.KindAck,
-		Seq:         r.rcvNxt,
-		Size:        netsim.HeaderBytes,
-		ECT:         true,
-		ECE:         r.ceState,
-		SentAt:      r.eng.Now(),
-		EchoTS:      r.pendingEcho,
-		Sacks:       r.sacked.blocks(maxSackBlocks),
-		DSACK:       dsack,
-		ReorderDist: reorderDist,
-		PathTag:     r.lastTag,
-	}
+	ack := r.flow.Dst.NewPacket()
+	ack.Flow = r.flow.ID
+	ack.Src = r.flow.Dst.ID()
+	ack.Dst = r.flow.Src.ID()
+	ack.SrcPort = r.srcPort
+	ack.DstPort = r.dstPort
+	ack.Proto = netsim.ProtoTCP
+	ack.Kind = netsim.KindAck
+	ack.Seq = r.rcvNxt
+	ack.Size = netsim.HeaderBytes
+	ack.ECT = true
+	ack.ECE = r.ceState
+	ack.SentAt = r.eng.Now()
+	ack.EchoTS = r.pendingEcho
+	ack.Sacks = r.sacked.appendBlocks(ack.Sacks[:0], maxSackBlocks)
+	ack.DSACK = dsack
+	ack.ReorderDist = reorderDist
+	ack.PathTag = r.lastTag
 	r.pending = 0
 	r.pendingEcho = -1
 	if r.ackTimer != nil {
@@ -224,20 +240,23 @@ func (x *intervalSet) Len() int { return len(x.iv) }
 const maxSackBlocks = 4
 
 // blocks returns up to max buffered ranges as SACK blocks, nearest the
-// cumulative ACK point first.
+// cumulative ACK point first (nil when empty).
 func (x *intervalSet) blocks(max int) []netsim.SackBlock {
+	return x.appendBlocks(nil, max)
+}
+
+// appendBlocks appends up to max buffered ranges to dst and returns the
+// extended slice. Reusing dst's backing array is what keeps SACK-carrying
+// ACKs allocation-free on pooled packets (the array survives recycling).
+func (x *intervalSet) appendBlocks(dst []netsim.SackBlock, max int) []netsim.SackBlock {
 	n := len(x.iv)
-	if n == 0 {
-		return nil
-	}
 	if n > max {
 		n = max
 	}
-	out := make([]netsim.SackBlock, n)
 	for i := 0; i < n; i++ {
-		out[i] = netsim.SackBlock{Start: x.iv[i].s, End: x.iv[i].e}
+		dst = append(dst, netsim.SackBlock{Start: x.iv[i].s, End: x.iv[i].e})
 	}
-	return out
+	return dst
 }
 
 // covered returns whether [s, e) lies entirely inside one buffered range.

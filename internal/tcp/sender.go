@@ -49,6 +49,9 @@ type Sender struct {
 	rto     sim.Time
 	backoff int
 	timer   *sim.Event
+	// Prebuilt timer callbacks, so (re)arming the RTO on every ACK does not
+	// allocate a closure.
+	timeoutFn, synFn func()
 
 	// DCTCP state. Alpha is estimated over BYTES acknowledged per RTT
 	// epoch, which stays exact under delayed ACKs because the receiver's
@@ -118,6 +121,8 @@ func newSender(eng *sim.Engine, cfg Config, flow *Flow, srcPort, dstPort uint16)
 	s.rto = cfg.RTOMin
 	s.dynDupThresh = cfg.DupThresh
 	s.outageStart = -1
+	s.timeoutFn = s.onTimeout
+	s.synFn = s.onSynTimeout
 	return s
 }
 
@@ -140,35 +145,44 @@ func (s *Sender) start() {
 
 // sendSyn (re)transmits the connection-opening segment and arms the RTO.
 func (s *Sender) sendSyn() {
-	syn := &netsim.Packet{
-		Flow: s.flow.ID, Src: s.flow.Src.ID(), Dst: s.flow.Dst.ID(),
-		SrcPort: s.srcPort, DstPort: s.dstPort,
-		Proto: netsim.ProtoTCP, Kind: netsim.KindSyn,
-		PathTag: s.PathTag(), Size: netsim.HeaderBytes,
-		ECT: true, SentAt: s.eng.Now(), EchoTS: -1,
-	}
+	syn := s.flow.Src.NewPacket()
+	syn.Flow = s.flow.ID
+	syn.Src = s.flow.Src.ID()
+	syn.Dst = s.flow.Dst.ID()
+	syn.SrcPort = s.srcPort
+	syn.DstPort = s.dstPort
+	syn.Proto = netsim.ProtoTCP
+	syn.Kind = netsim.KindSyn
+	syn.PathTag = s.PathTag()
+	syn.Size = netsim.HeaderBytes
+	syn.ECT = true
+	syn.SentAt = s.eng.Now()
+	syn.EchoTS = -1
 	s.flow.Src.Send(syn)
 	s.cancelTimer()
 	d := s.rto << s.backoff
 	if d > s.cfg.RTOMax {
 		d = s.cfg.RTOMax
 	}
-	s.timer = s.eng.Schedule(d, func() {
-		s.timer = nil
-		if s.established {
-			return
-		}
-		s.SynRetries++
-		if s.backoff < 16 {
-			s.backoff++
-		}
-		// A lost SYN is indistinguishable from a broken path: re-draw V,
-		// exactly as data RTOs do (§3.3.2).
-		if s.fb != nil {
-			s.fb.OnTimeout()
-		}
-		s.sendSyn()
-	})
+	s.timer = s.eng.Schedule(d, s.synFn)
+}
+
+// onSynTimeout retransmits a lost SYN with exponential backoff.
+func (s *Sender) onSynTimeout() {
+	s.timer = nil
+	if s.established {
+		return
+	}
+	s.SynRetries++
+	if s.backoff < 16 {
+		s.backoff++
+	}
+	// A lost SYN is indistinguishable from a broken path: re-draw V,
+	// exactly as data RTOs do (§3.3.2).
+	if s.fb != nil {
+		s.fb.OnTimeout()
+	}
+	s.sendSyn()
 }
 
 // Cwnd returns the current congestion window in bytes.
@@ -215,23 +229,22 @@ func (s *Sender) trySend() {
 }
 
 func (s *Sender) emit(seq int64, payload int, retx bool) {
-	pkt := &netsim.Packet{
-		Flow:    s.flow.ID,
-		Src:     s.flow.Src.ID(),
-		Dst:     s.flow.Dst.ID(),
-		SrcPort: s.srcPort,
-		DstPort: s.dstPort,
-		Proto:   netsim.ProtoTCP,
-		Kind:    netsim.KindData,
-		PathTag: s.PathTag(),
-		Seq:     seq,
-		Payload: payload,
-		Size:    payload + netsim.HeaderBytes,
-		ECT:     true,
-		Retx:    retx,
-		SentAt:  s.eng.Now(),
-		EchoTS:  -1,
-	}
+	pkt := s.flow.Src.NewPacket()
+	pkt.Flow = s.flow.ID
+	pkt.Src = s.flow.Src.ID()
+	pkt.Dst = s.flow.Dst.ID()
+	pkt.SrcPort = s.srcPort
+	pkt.DstPort = s.dstPort
+	pkt.Proto = netsim.ProtoTCP
+	pkt.Kind = netsim.KindData
+	pkt.PathTag = s.PathTag()
+	pkt.Seq = seq
+	pkt.Payload = payload
+	pkt.Size = payload + netsim.HeaderBytes
+	pkt.ECT = true
+	pkt.Retx = retx
+	pkt.SentAt = s.eng.Now()
+	pkt.EchoTS = -1
 	if retx {
 		s.Retransmits++
 	}
@@ -540,7 +553,7 @@ func (s *Sender) armTimer() {
 	if d > s.cfg.RTOMax {
 		d = s.cfg.RTOMax
 	}
-	s.timer = s.eng.Schedule(d, s.onTimeout)
+	s.timer = s.eng.Schedule(d, s.timeoutFn)
 }
 
 func (s *Sender) cancelTimer() {

@@ -13,6 +13,11 @@ type FatTree struct {
 	P   Params
 	Eng *sim.Engine
 
+	// Pool is the fabric-wide packet free list every host and switch
+	// recycles through; transports sending between this topology's hosts
+	// allocate packets from it via Host.NewPacket.
+	Pool *netsim.PacketPool
+
 	Hosts []*netsim.Host
 	// Tors[pod][t], Aggs[pod][a], Cores[c].
 	Tors  [][]*netsim.Switch
@@ -84,6 +89,14 @@ func NewFatTree(eng *sim.Engine, p Params) *FatTree {
 
 	ft.wire()
 	ft.installRoutes()
+
+	ft.Pool = netsim.NewPacketPool()
+	for _, h := range ft.Hosts {
+		h.UsePool(ft.Pool)
+	}
+	for _, s := range ft.AllSwitches() {
+		s.UsePool(ft.Pool)
+	}
 	return ft
 }
 

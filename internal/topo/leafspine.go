@@ -59,6 +59,9 @@ type LeafSpine struct {
 	P   LeafSpineParams
 	Eng *sim.Engine
 
+	// Pool is the fabric-wide packet free list (see FatTree.Pool).
+	Pool *netsim.PacketPool
+
 	Hosts  []*netsim.Host
 	Tors   []*netsim.Switch
 	Spines []*netsim.Switch
@@ -129,6 +132,17 @@ func NewLeafSpine(eng *sim.Engine, p LeafSpineParams) *LeafSpine {
 			routes[dst] = []int32{int32(dst / p.ServersPerTor)}
 		}
 		spine.SetRoutes(routes)
+	}
+
+	ls.Pool = netsim.NewPacketPool()
+	for _, h := range ls.Hosts {
+		h.UsePool(ls.Pool)
+	}
+	for _, sw := range ls.Tors {
+		sw.UsePool(ls.Pool)
+	}
+	for _, sw := range ls.Spines {
+		sw.UsePool(ls.Pool)
 	}
 	return ls
 }

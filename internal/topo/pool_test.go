@@ -1,0 +1,40 @@
+package topo
+
+import (
+	"testing"
+
+	"flowbender/internal/routing"
+	"flowbender/internal/sim"
+	"flowbender/internal/tcp"
+)
+
+// A full TCP transfer across the pooled fat-tree must recycle every packet:
+// the pool's live count returns to zero when the fabric idles, and the
+// steady-state working set (roughly one window of packets) is far smaller
+// than the packet count, so almost every allocation is served from the free
+// list.
+func TestFatTreePoolAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := NewFatTree(eng, TinyScale())
+	ft.SetSelector(routing.ECMP{})
+
+	const size = 1 << 20 // 1 MB, ~720 data packets + as many ACKs
+	f := tcp.StartFlow(eng, tcp.DefaultConfig(), 1, ft.Hosts[0], ft.Hosts[12], size)
+	eng.RunUntilIdle()
+
+	if !f.Done() {
+		t.Fatal("transfer did not complete")
+	}
+	if live := ft.Pool.Live(); live != 0 {
+		t.Fatalf("pool leaked: %d packets live after idle (gets=%d puts=%d)",
+			live, ft.Pool.Gets, ft.Pool.Puts)
+	}
+	if ft.Pool.Gets < 1000 {
+		t.Fatalf("gets = %d; transfer should have drawn >1000 packets", ft.Pool.Gets)
+	}
+	// Misses equal the peak live working set (one congestion window of data
+	// plus ACKs in flight); the bulk of the transfer must recycle.
+	if ft.Pool.Misses*4 > ft.Pool.Gets {
+		t.Fatalf("recycling ineffective: %d misses of %d gets", ft.Pool.Misses, ft.Pool.Gets)
+	}
+}

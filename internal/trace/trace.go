@@ -69,6 +69,7 @@ type Sampler struct {
 	series   []*Series
 	stopped  bool
 	started  bool
+	tickFn   func() // prebuilt so periodic sampling does not allocate
 }
 
 // NewSampler creates a sampler ticking every interval.
@@ -76,7 +77,9 @@ func NewSampler(eng *sim.Engine, interval sim.Time) *Sampler {
 	if interval <= 0 {
 		interval = 100 * sim.Microsecond
 	}
-	return &Sampler{eng: eng, interval: interval}
+	s := &Sampler{eng: eng, interval: interval}
+	s.tickFn = s.tick
+	return s
 }
 
 // Track registers a probe and returns its series. Must be called before
@@ -95,7 +98,7 @@ func (s *Sampler) Start() {
 	}
 	s.started = true
 	s.stopped = false
-	s.eng.Schedule(s.interval, s.tick)
+	s.eng.Schedule(s.interval, s.tickFn)
 }
 
 // Stop halts sampling after the current tick.
@@ -113,7 +116,7 @@ func (s *Sampler) tick() {
 	for i, probe := range s.probes {
 		s.series[i].Add(now, probe())
 	}
-	s.eng.Schedule(s.interval, s.tick)
+	s.eng.Schedule(s.interval, s.tickFn)
 }
 
 // WriteCSV emits the series as CSV: a time_us column followed by one column

@@ -30,6 +30,7 @@ type Sender struct {
 	interval         sim.Time
 	stopped          bool
 	seq              int64
+	tickFn           func() // prebuilt so each tick schedules without allocating
 
 	Sent int64 // datagrams emitted
 }
@@ -41,7 +42,7 @@ func NewSender(eng *sim.Engine, id netsim.FlowID, src, dst *netsim.Host, rateBps
 		payload = 1460
 	}
 	wire := int64(payload + netsim.HeaderBytes)
-	return &Sender{
+	s := &Sender{
 		eng:      eng,
 		id:       id,
 		src:      src,
@@ -52,6 +53,8 @@ func NewSender(eng *sim.Engine, id netsim.FlowID, src, dst *netsim.Host, rateBps
 		dstPort:  5002,
 		interval: sim.Time(wire * 8 * int64(sim.Second) / rateBps),
 	}
+	s.tickFn = s.tick
+	return s
 }
 
 // Probe returns a representative (untransmitted) packet with the given path
@@ -83,25 +86,24 @@ func (s *Sender) tick() {
 	if s.Sprayer != nil {
 		tag = s.Sprayer.Tag(s.size)
 	}
-	pkt := &netsim.Packet{
-		Flow:    s.id,
-		Src:     s.src.ID(),
-		Dst:     s.dst.ID(),
-		SrcPort: s.srcPort,
-		DstPort: s.dstPort,
-		Proto:   netsim.ProtoUDP,
-		Kind:    netsim.KindData,
-		PathTag: tag,
-		Seq:     s.seq,
-		Payload: s.size,
-		Size:    s.size + netsim.HeaderBytes,
-		SentAt:  s.eng.Now(),
-		EchoTS:  -1,
-	}
+	pkt := s.src.NewPacket()
+	pkt.Flow = s.id
+	pkt.Src = s.src.ID()
+	pkt.Dst = s.dst.ID()
+	pkt.SrcPort = s.srcPort
+	pkt.DstPort = s.dstPort
+	pkt.Proto = netsim.ProtoUDP
+	pkt.Kind = netsim.KindData
+	pkt.PathTag = tag
+	pkt.Seq = s.seq
+	pkt.Payload = s.size
+	pkt.Size = s.size + netsim.HeaderBytes
+	pkt.SentAt = s.eng.Now()
+	pkt.EchoTS = -1
 	s.seq += int64(s.size)
 	s.Sent++
 	s.src.Send(pkt)
-	s.eng.Schedule(s.interval, s.tick)
+	s.eng.Schedule(s.interval, s.tickFn)
 }
 
 // Sink counts arriving datagrams for a flow.

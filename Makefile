@@ -32,7 +32,8 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Write a BENCH_<timestamp>.json snapshot of the hot-path metrics (ns/event,
-# ns/packet-hop, allocs, per-experiment wall-clock) into the repo root.
+# ns/packet-hop, allocs, per-experiment wall-clock and events/sec) into the
+# repo root.
 bench-json:
 	$(GO) run ./cmd/fbbench -json
 

@@ -10,12 +10,18 @@
 //
 //	fbbench -json [-scales tiny] [-o .]   write a BENCH_<timestamp>.json
 //	                                      snapshot: engine ns/event,
-//	                                      ns/packet-hop, allocs/op, and
-//	                                      wall-clock per experiment at each
-//	                                      listed scale
+//	                                      ns/packet-hop, allocs/op,
+//	                                      wall-clock and simulator
+//	                                      throughput (events/sec) per
+//	                                      experiment at each listed scale
 //	fbbench -compare [-o .] [-tol 0.10]   diff the two newest snapshots and
 //	                                      exit 1 on any headline metric
-//	                                      regressing past the tolerance
+//	                                      regressing past the tolerance;
+//	                                      -baseline <file> pins the old side
+//	                                      to a specific snapshot instead
+//
+// Profiling: -cpuprofile / -memprofile write pprof profiles covering the
+// whole run, in any mode (see EXPERIMENTS.md for the workflow).
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -42,24 +49,38 @@ func main() {
 
 		jsonMode = flag.Bool("json", false, "write a BENCH_<timestamp>.json benchmark snapshot instead of printing tables")
 		compare  = flag.Bool("compare", false, "compare the two newest BENCH_*.json snapshots and exit 1 on regression")
+		baseline = flag.String("baseline", "", "with -compare: compare the newest snapshot against this file instead of the second-newest")
 		scales   = flag.String("scales", "tiny", "comma-separated experiment scales to wall-clock in -json mode")
 		outDir   = flag.String("o", ".", "directory for -json output / -compare input")
 		tol      = flag.Float64("tol", 0.10, "fractional regression tolerance for -compare")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
+	stopProf, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbbench:", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
+
 	switch {
 	case *compare:
-		os.Exit(runCompare(*outDir, *tol))
+		exit(runCompare(*outDir, *baseline, *tol))
 	case *jsonMode:
-		os.Exit(runJSON(*outDir, *scales, *seed, *parallel))
+		exit(runJSON(*outDir, *scales, *seed, *parallel))
 	}
 
 	o := experiments.Options{Seed: *seed, Parallelism: *parallel, Seeds: *seeds, Watchdog: *watchdog}
 	sc, ok := parseScale(*scale)
 	if !ok {
 		fmt.Fprintln(os.Stderr, "fbbench: scale must be tiny, small, or paper")
-		os.Exit(2)
+		exit(2)
 	}
 	o.Scale = sc
 	if *verb {
@@ -70,6 +91,46 @@ func main() {
 	fmt.Printf("FlowBender reproduction — full evaluation (scale=%s seed=%d)\n\n", *scale, *seed)
 	experiments.RunAll(o, os.Stdout)
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Second))
+	exit(0)
+}
+
+// startProfiles arms the requested pprof outputs and returns a function that
+// flushes them; it is safe to call the stop function multiple times.
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fbbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fbbench:", err)
+			}
+		}
+	}, nil
 }
 
 func parseScale(s string) (experiments.ScaleLevel, bool) {
@@ -84,8 +145,13 @@ func parseScale(s string) (experiments.ScaleLevel, bool) {
 	return 0, false
 }
 
-// runJSON measures the hot-path micro-benchmarks and the wall clock of every
-// registered experiment at each requested scale, then writes the snapshot.
+// expRounds is how many times each experiment is wall-clocked in -json mode;
+// the best round of each metric goes into the snapshot (see Snapshot.Fold).
+const expRounds = 3
+
+// runJSON measures the hot-path micro-benchmarks and the wall clock plus
+// simulator throughput of every registered experiment at each requested
+// scale, then writes the snapshot.
 func runJSON(dir, scaleList string, seed int64, parallel int) int {
 	snap := benchkit.NewSnapshot(runtime.Version(), seed)
 
@@ -107,13 +173,21 @@ func runJSON(dir, scaleList string, seed int64, parallel int) int {
 			return 2
 		}
 		snap.Scales = append(snap.Scales, sc)
-		o := experiments.Options{Seed: seed, Scale: level, Parallelism: parallel}
 		for _, e := range experiments.Registry {
 			fmt.Fprintf(os.Stderr, "fbbench: timing %s at %s ...\n", e.Name, sc)
-			start := time.Now()
-			e.Run(o)
-			snap.Metrics[fmt.Sprintf("exp_%s_%s_wall_ms", e.Name, sc)] =
-				float64(time.Since(start).Microseconds()) / 1000
+			prefix := fmt.Sprintf("exp_%s_%s", e.Name, sc)
+			// Same best-of-N folding as the micro-benchmarks: one run's
+			// wall clock is hostage to whatever else the machine is doing.
+			for round := 0; round < expRounds; round++ {
+				var perf experiments.PerfStats
+				o := experiments.Options{Seed: seed, Scale: level, Parallelism: parallel, Perf: &perf}
+				start := time.Now()
+				e.Run(o)
+				wall := time.Since(start)
+				snap.Fold(prefix+"_wall_ms", float64(wall.Microseconds())/1000)
+				snap.Fold(prefix+"_events_per_sec", perf.EventsPerSec(wall))
+				snap.Fold(prefix+"_simsec_per_wallsec", perf.SimSecPerWallSec(wall))
+			}
 		}
 	}
 
@@ -126,9 +200,20 @@ func runJSON(dir, scaleList string, seed int64, parallel int) int {
 	return 0
 }
 
-// runCompare diffs the two newest snapshots in dir.
-func runCompare(dir string, tol float64) int {
-	olderPath, newerPath, err := benchkit.NewestTwo(dir)
+// runCompare diffs the newest snapshot in dir against the second-newest, or
+// against an explicit baseline file when one is given.
+func runCompare(dir, baseline string, tol float64) int {
+	var olderPath, newerPath string
+	var err error
+	if baseline != "" {
+		olderPath = baseline
+		newerPath, err = benchkit.Newest(dir)
+		if err == nil && sameFile(olderPath, newerPath) {
+			err = fmt.Errorf("newest snapshot %s is the baseline itself; run -json to write a new snapshot first", newerPath)
+		}
+	} else {
+		olderPath, newerPath, err = benchkit.NewestTwo(dir)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fbbench:", err)
 		return 1
@@ -153,4 +238,14 @@ func runCompare(dir string, tol float64) int {
 		fmt.Println("REGRESSION:", r)
 	}
 	return 1
+}
+
+// sameFile reports whether two paths name the same snapshot file.
+func sameFile(a, b string) bool {
+	ia, errA := os.Stat(a)
+	ib, errB := os.Stat(b)
+	if errA != nil || errB != nil {
+		return a == b
+	}
+	return os.SameFile(ia, ib)
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flowbender/internal/benchkit"
+)
+
+func writeSnapshot(t *testing.T, dir, stamp, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, benchkit.FilePrefix+stamp+".json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCompareNeedsTwoSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	if code := runCompare(dir, "", 0.10); code != 1 {
+		t.Fatalf("runCompare on empty dir = %d, want 1", code)
+	}
+	writeSnapshot(t, dir, "20260101-000000", `{"metrics":{"packet_hop_ns_per_hop":200}}`)
+	if code := runCompare(dir, "", 0.10); code != 1 {
+		t.Fatalf("runCompare with one snapshot = %d, want 1", code)
+	}
+}
+
+func TestRunCompareBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnapshot(t, dir, "20260101-000000", `{"metrics":{"packet_hop_ns_per_hop":200,"exp_a_tiny_events_per_sec":1000000}}`)
+
+	// The only snapshot is the baseline itself: a clear error, not a
+	// self-comparison reporting an empty diff.
+	if code := runCompare(dir, base, 0.10); code != 1 {
+		t.Fatalf("runCompare(baseline=newest) = %d, want 1", code)
+	}
+
+	// Newer snapshot improves both directions: passes against the baseline.
+	writeSnapshot(t, dir, "20260201-000000", `{"metrics":{"packet_hop_ns_per_hop":150,"exp_a_tiny_events_per_sec":2000000}}`)
+	if code := runCompare(dir, base, 0.10); code != 0 {
+		t.Fatalf("runCompare improved = %d, want 0", code)
+	}
+
+	// Throughput collapse regresses even though the latency metric held.
+	writeSnapshot(t, dir, "20260301-000000", `{"metrics":{"packet_hop_ns_per_hop":200,"exp_a_tiny_events_per_sec":100000}}`)
+	if code := runCompare(dir, base, 0.10); code != 1 {
+		t.Fatalf("runCompare throughput collapse = %d, want 1", code)
+	}
+
+	// A missing baseline file is an error.
+	if code := runCompare(dir, filepath.Join(dir, "nope.json"), 0.10); code != 1 {
+		t.Fatalf("runCompare missing baseline = %d, want 1", code)
+	}
+}

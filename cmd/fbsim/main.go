@@ -14,7 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"flowbender/internal/experiments"
 	"flowbender/internal/workload"
@@ -34,17 +37,57 @@ func main() {
 		faultSel = flag.String("faults", "", "comma-separated fault scenarios for -exp faults (empty = all; see -list-faults)")
 		listF    = flag.Bool("list-faults", false, "list available fault scenarios")
 		watchdog = flag.Duration("watchdog", 0, "wall-clock limit per simulation point; exceeding points report FAILED instead of hanging the run (0 = off)")
-		verb     = flag.Bool("v", false, "log per-run progress to stderr")
+		verb     = flag.Bool("v", false, "log per-run progress (and simulator throughput) to stderr")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of a table")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopProf := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fbsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fbsim:", err)
+			os.Exit(1)
+		}
+		stopProf = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	writeMemProfile := func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fbsim:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fbsim:", err)
+		}
+	}
+	exit := func(code int) {
+		stopProf()
+		writeMemProfile()
+		os.Exit(code)
+	}
 
 	if *listF {
 		fmt.Println("available fault scenarios (for -exp faults -faults ...):")
 		for _, name := range experiments.FaultScenarioNames() {
 			fmt.Printf("  %s\n", name)
 		}
-		return
+		exit(0)
 	}
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
@@ -52,15 +95,15 @@ func main() {
 			fmt.Printf("  %-12s %s\n", e.Name, e.Desc)
 		}
 		if *exp == "" && !*list {
-			os.Exit(2)
+			exit(2)
 		}
-		return
+		exit(0)
 	}
 
 	run, ok := experiments.Lookup(*exp)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "fbsim: unknown experiment %q (use -list)\n", *exp)
-		os.Exit(2)
+		exit(2)
 	}
 	o := experiments.Options{
 		Seed:        *seed,
@@ -81,13 +124,13 @@ func main() {
 		f, err := os.Open(*cdfPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fbsim:", err)
-			os.Exit(2)
+			exit(2)
 		}
 		cdf, err := workload.ParseCDF(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fbsim: %s: %v\n", *cdfPath, err)
-			os.Exit(2)
+			exit(2)
 		}
 		o.CDF = cdf
 	}
@@ -100,24 +143,34 @@ func main() {
 		o.Scale = experiments.ScalePaper
 	default:
 		fmt.Fprintf(os.Stderr, "fbsim: unknown scale %q\n", *scale)
-		os.Exit(2)
+		exit(2)
 	}
 	if *verb {
 		o.Log = os.Stderr
 	}
+	var perf experiments.PerfStats
+	o.Perf = &perf
+	start := time.Now()
 	res, err := runProtected(run, o)
+	wall := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fbsim: experiment %s failed: %v\n", *exp, err)
-		os.Exit(1)
+		exit(1)
+	}
+	if *verb {
+		fmt.Fprintf(os.Stderr, "fbsim: %d events in %v (%.3g events/sec, %.3g sim-sec/wall-sec)\n",
+			perf.Events.Load(), wall.Round(time.Millisecond),
+			perf.EventsPerSec(wall), perf.SimSecPerWallSec(wall))
 	}
 	if *asJSON {
 		if err := experiments.WriteJSON(os.Stdout, res); err != nil {
 			fmt.Fprintln(os.Stderr, "fbsim: json:", err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 	res.Print(os.Stdout)
+	exit(0)
 }
 
 // runProtected converts a panicking experiment into an error exit with a

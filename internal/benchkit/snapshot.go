@@ -12,8 +12,9 @@ import (
 )
 
 // Snapshot is one point of the persisted benchmark trajectory, written as
-// BENCH_<timestamp>.json in the repository root. Every metric is
-// lower-is-better; Compare treats each one as a headline.
+// BENCH_<timestamp>.json in the repository root. Metrics are lower-is-better
+// except the throughput metrics (suffix "_per_sec" or "_per_wallsec"), which
+// are higher-is-better; Compare treats each one as a headline.
 type Snapshot struct {
 	Schema    int    `json:"schema"`
 	CreatedAt string `json:"created_at"`
@@ -23,10 +24,12 @@ type Snapshot struct {
 	Scales []string `json:"scales"`
 	Seed   int64    `json:"seed"`
 	// Metrics maps metric name -> value. Conventions:
-	//   engine_schedule_ns_op / _allocs_op     per-event scheduler cost
-	//   packet_hop_ns / packet_hop_allocs      per switch-hop fabric cost
-	//   tcp_transfer_10mb_ms / _allocs         one 10 MB transfer
-	//   exp_<name>_<scale>_wall_ms             one experiment run's wall clock
+	//   engine_schedule_ns_op / _allocs_op       per-event scheduler cost
+	//   packet_hop_ns / packet_hop_allocs        per switch-hop fabric cost
+	//   tcp_transfer_10mb_ms / _allocs           one 10 MB transfer
+	//   exp_<name>_<scale>_wall_ms               one experiment run's wall clock
+	//   exp_<name>_<scale>_events_per_sec        engine events per wall second
+	//   exp_<name>_<scale>_simsec_per_wallsec    simulated s per wall second
 	Metrics map[string]float64 `json:"metrics"`
 }
 
@@ -96,6 +99,26 @@ func NewestTwo(dir string) (older, newer string, err error) {
 	return paths[len(paths)-2], paths[len(paths)-1], nil
 }
 
+// Newest returns the path of the single newest snapshot in dir.
+func Newest(dir string) (string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, FilePrefix+"*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(paths) == 0 {
+		return "", fmt.Errorf("benchkit: no %s*.json snapshots in %s", FilePrefix, dir)
+	}
+	sort.Strings(paths)
+	return paths[len(paths)-1], nil
+}
+
+// higherIsBetter reports whether a metric is a throughput (bigger numbers
+// are improvements): the events-per-second and simulated-time-per-wall-
+// second rates the experiment harness reports.
+func higherIsBetter(name string) bool {
+	return strings.HasSuffix(name, "_per_sec") || strings.HasSuffix(name, "_per_wallsec")
+}
+
 // Regression is one headline metric that got worse past the tolerance.
 type Regression struct {
 	Metric   string
@@ -114,12 +137,13 @@ func nonzero(v float64) float64 {
 }
 
 // Compare checks every metric present in old against new with the given
-// fractional tolerance (0.10 = fail on >10% worse). All metrics are
-// lower-is-better. A metric missing from new, or a zero metric (e.g.
-// allocs/op) that becomes nonzero, is a regression. Metrics only present in
-// new are informational and ignored. Experiment wall-clock metrics (exp_*)
-// are single-shot timings and inherently noisier than the averaged
-// micro-benchmarks, so they get 3x the tolerance.
+// fractional tolerance (0.10 = fail on >10% worse). Metrics are
+// lower-is-better except throughputs (see higherIsBetter), which regress by
+// shrinking instead of growing. A metric missing from new, or a zero
+// lower-is-better metric (e.g. allocs/op) that becomes nonzero, is a
+// regression. Metrics only present in new are informational and ignored.
+// Experiment metrics (exp_*) are single-shot timings and inherently noisier
+// than the averaged micro-benchmarks, so they get 3x the tolerance.
 func Compare(old, new *Snapshot, tolerance float64) []Regression {
 	var regs []Regression
 	names := make([]string, 0, len(old.Metrics))
@@ -137,6 +161,10 @@ func Compare(old, new *Snapshot, tolerance float64) []Regression {
 		switch {
 		case !ok:
 			regs = append(regs, Regression{Metric: name + " (missing)", Old: ov, New: 0})
+		case higherIsBetter(name):
+			if ov > 0 && nv < ov*(1-tol) {
+				regs = append(regs, Regression{Metric: name, Old: ov, New: nv})
+			}
 		case ov == 0 && nv > 0.5:
 			// An allocation-free path growing any allocations is a
 			// regression regardless of the relative tolerance.
@@ -148,17 +176,39 @@ func Compare(old, new *Snapshot, tolerance float64) []Regression {
 	return regs
 }
 
-// Measure runs fn under testing.Benchmark and folds its result into the
-// snapshot: <name>_ns_op and <name>_allocs_op, plus any b.ReportMetric
-// extras as <name>_<metric> (with "/" mapped to "_per_").
+// measureRounds is how many times Measure repeats each micro-benchmark,
+// folding in the best round per metric. A single testing.Benchmark draw is
+// hostage to whatever else the machine does during that second; the best of
+// a few spaced draws is the reproducible cost of the code itself, which is
+// what the trajectory tracks.
+const measureRounds = 3
+
+// Measure runs fn under testing.Benchmark measureRounds times and folds the
+// best round of each metric into the snapshot: <name>_ns_op and
+// <name>_allocs_op, plus any b.ReportMetric extras as <name>_<metric> (with
+// "/" mapped to "_per_"). "Best" is the minimum, or the maximum for
+// throughput metrics (see higherIsBetter). The last round's raw result is
+// returned for callers that want iteration counts.
 func (s *Snapshot) Measure(name string, fn func(b *testing.B)) testing.BenchmarkResult {
-	res := testing.Benchmark(fn)
-	s.Metrics[name+"_ns_op"] = float64(res.NsPerOp())
-	s.Metrics[name+"_allocs_op"] = float64(res.AllocsPerOp())
-	for metric, v := range res.Extra {
-		s.Metrics[name+"_"+sanitize(metric)] = v
+	var res testing.BenchmarkResult
+	for round := 0; round < measureRounds; round++ {
+		res = testing.Benchmark(fn)
+		s.Fold(name+"_ns_op", float64(res.NsPerOp()))
+		s.Fold(name+"_allocs_op", float64(res.AllocsPerOp()))
+		for metric, v := range res.Extra {
+			s.Fold(name+"_"+sanitize(metric), v)
+		}
 	}
 	return res
+}
+
+// Fold records v under name, keeping the better of v and any prior round's
+// value.
+func (s *Snapshot) Fold(name string, v float64) {
+	old, ok := s.Metrics[name]
+	if !ok || (higherIsBetter(name) && v > old) || (!higherIsBetter(name) && v < old) {
+		s.Metrics[name] = v
+	}
 }
 
 func sanitize(metric string) string {

@@ -1,0 +1,151 @@
+package benchkit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNewestAndNewestTwo(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Newest(dir); err == nil {
+		t.Fatal("Newest on empty dir: want error")
+	}
+	if _, _, err := NewestTwo(dir); err == nil || !strings.Contains(err.Error(), "need at least two") {
+		t.Fatalf("NewestTwo on empty dir: got %v, want 'need at least two' error", err)
+	}
+	a := filepath.Join(dir, FilePrefix+"20260101-000000.json")
+	b := filepath.Join(dir, FilePrefix+"20260201-000000.json")
+	for _, p := range []string{a, b} {
+		if err := os.WriteFile(p, []byte(`{"metrics":{}}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Newest(dir)
+	if err != nil || got != b {
+		t.Fatalf("Newest = %q, %v; want %q", got, err, b)
+	}
+	older, newer, err := NewestTwo(dir)
+	if err != nil || older != a || newer != b {
+		t.Fatalf("NewestTwo = %q, %q, %v; want %q, %q", older, newer, err, a, b)
+	}
+}
+
+func snap(metrics map[string]float64) *Snapshot {
+	return &Snapshot{Metrics: metrics}
+}
+
+func regressionNames(regs []Regression) []string {
+	var names []string
+	for _, r := range regs {
+		names = append(names, r.Metric)
+	}
+	return names
+}
+
+func TestCompareDirections(t *testing.T) {
+	old := snap(map[string]float64{
+		"packet_hop_ns_per_hop":                200, // lower is better
+		"engine_schedule_allocs_op":            0,   // zero stays zero
+		"exp_alltoall_tiny_wall_ms":            100, // lower is better, 3x tolerance
+		"exp_alltoall_tiny_events_per_sec":     1e6, // higher is better, 3x tolerance
+		"exp_alltoall_tiny_simsec_per_wallsec": 2.0, // higher is better
+		"vanished_metric":                      5,
+	})
+	cases := []struct {
+		name    string
+		metrics map[string]float64
+		want    []string
+	}{
+		{
+			name: "all within tolerance",
+			metrics: map[string]float64{
+				"packet_hop_ns_per_hop":                210, // +5%
+				"engine_schedule_allocs_op":            0,
+				"exp_alltoall_tiny_wall_ms":            125,   // +25% < 30%
+				"exp_alltoall_tiny_events_per_sec":     0.8e6, // -20% < 30%
+				"exp_alltoall_tiny_simsec_per_wallsec": 1.9,
+				"vanished_metric":                      5,
+				"brand_new_metric":                     1, // new-only: ignored
+			},
+			want: nil,
+		},
+		{
+			name: "latency up, throughput down, metric gone",
+			metrics: map[string]float64{
+				"packet_hop_ns_per_hop":                230,   // +15% > 10%
+				"engine_schedule_allocs_op":            1,     // 0 -> nonzero
+				"exp_alltoall_tiny_wall_ms":            140,   // +40% > 30%
+				"exp_alltoall_tiny_events_per_sec":     0.6e6, // -40% > 30%
+				"exp_alltoall_tiny_simsec_per_wallsec": 2.5,   // improved: fine
+			},
+			want: []string{
+				"engine_schedule_allocs_op",
+				"exp_alltoall_tiny_events_per_sec",
+				"exp_alltoall_tiny_wall_ms",
+				"packet_hop_ns_per_hop",
+				"vanished_metric (missing)",
+			},
+		},
+		{
+			name: "throughput gains never regress",
+			metrics: map[string]float64{
+				"packet_hop_ns_per_hop":                150,
+				"engine_schedule_allocs_op":            0,
+				"exp_alltoall_tiny_wall_ms":            50,
+				"exp_alltoall_tiny_events_per_sec":     5e6,
+				"exp_alltoall_tiny_simsec_per_wallsec": 10,
+				"vanished_metric":                      5,
+			},
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := regressionNames(Compare(old, snap(tc.metrics), 0.10))
+			if len(got) != len(tc.want) {
+				t.Fatalf("Compare: got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Compare: got %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestFoldKeepsBestRound(t *testing.T) {
+	s := snap(map[string]float64{})
+	// Lower-is-better: the minimum across rounds wins.
+	for _, v := range []float64{10, 8, 12} {
+		s.Fold("engine_schedule_ns_op", v)
+	}
+	if got := s.Metrics["engine_schedule_ns_op"]; got != 8 {
+		t.Errorf("fold lower-is-better: got %v, want 8", got)
+	}
+	// Higher-is-better: the maximum across rounds wins.
+	for _, v := range []float64{5, 9, 7} {
+		s.Fold("exp_alltoall_tiny_events_per_sec", v)
+	}
+	if got := s.Metrics["exp_alltoall_tiny_events_per_sec"]; got != 9 {
+		t.Errorf("fold higher-is-better: got %v, want 9", got)
+	}
+}
+
+func TestHigherIsBetter(t *testing.T) {
+	cases := map[string]bool{
+		"exp_alltoall_tiny_events_per_sec":     true,
+		"exp_alltoall_tiny_simsec_per_wallsec": true,
+		"packet_hop_ns_per_hop":                false, // sanitized "ns/hop": a rate of time, still lower-is-better
+		"packet_hop_allocs_per_hop":            false,
+		"engine_schedule_ns_op":                false,
+		"exp_alltoall_tiny_wall_ms":            false,
+	}
+	for name, want := range cases {
+		if got := higherIsBetter(name); got != want {
+			t.Errorf("higherIsBetter(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

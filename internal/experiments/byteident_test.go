@@ -55,6 +55,29 @@ func TestByteIdentityAllToAll(t *testing.T) {
 	checkByteIdentity(t, "byteident_alltoall", renderAllToAll)
 }
 
+// TestByteIdentityPaperFatTree pins the all-to-all output on the full §4.2
+// fabric: 128 servers, 8 paths between pods. The tiny-scale pins above cover
+// the logic; this one covers the paper-scale geometry — deeper ECMP fan-out,
+// longer paths, and far larger concurrent event and flow populations — where
+// an ordering bug in the calendar queue, the selector memo, or the dispatch
+// table would surface even if the 16-server fabric masked it. The flow count
+// is trimmed to keep the run affordable in CI.
+func TestByteIdentityPaperFatTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := Options{Seed: 7, Scale: ScalePaper, FlowCount: 120, Repeats: 1}
+	o.Parallelism = 1
+	seq := renderAllToAll(o)
+	checkGolden(t, "byteident_paper_alltoall", seq)
+	for _, p := range []int{4, 8} {
+		o.Parallelism = p
+		if got := renderAllToAll(o); got != seq {
+			t.Errorf("paper fat-tree: output at -parallel %d differs from sequential", p)
+		}
+	}
+}
+
 func TestByteIdentityFaultMatrix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

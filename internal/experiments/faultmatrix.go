@@ -213,6 +213,7 @@ func (r *FaultMatrixResult) runOne(o Options, pt faultPoint) FaultCell {
 	}
 
 	drain(eng, r.Deadline, allFlowsDone(flows))
+	o.recordPerf(eng)
 
 	cell := FaultCell{Total: len(flows)}
 	var affected stats.Sample

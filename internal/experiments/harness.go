@@ -149,6 +149,7 @@ func (o Options) runAllToAll(spec allToAllSpec) *runOutcome {
 	}
 	gen.Run()
 	drain(eng, o.maxWait(), allFlowsDone2(gen))
+	o.recordPerf(eng)
 
 	out := &runOutcome{Flows: gen.Flows, SimTime: eng.Now()}
 	out.collect()

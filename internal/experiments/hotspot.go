@@ -126,6 +126,7 @@ func (o Options) runHotspot(scheme Scheme) hotspotOut {
 		startUDP[i] = l.AtoB.TxBytes[netsim.ProtoUDP]
 	}
 	eng.Run(warm + meas)
+	o.recordPerf(eng)
 	gen.Stop()
 	udpSender.Stop()
 

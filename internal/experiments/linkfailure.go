@@ -107,6 +107,7 @@ func (r *LinkFailureResult) runOne(o Options, scheme Scheme) linkFailureOut {
 	eng.At(r.FailAt, func() { ft.AggCoreLinks[0][0][0].Fail() })
 
 	drain(eng, r.Deadline, allFlowsDone(flows))
+	o.recordPerf(eng)
 
 	var affected, unaffected stats.Sample
 	for _, f := range flows {

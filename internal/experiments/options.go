@@ -79,6 +79,12 @@ type Options struct {
 	// scenarios (see FaultScenarioNames); empty runs the whole suite.
 	FaultScenarios []string
 
+	// Perf, when non-nil, accumulates simulator throughput (events
+	// executed, virtual time advanced) across every simulation point the
+	// experiment runs. Purely observational: it never alters scheduling,
+	// so attaching it cannot change experiment output.
+	Perf *PerfStats
+
 	// Watchdog, when > 0, bounds each simulation point's wall-clock time:
 	// a point exceeding it is reported as failed instead of hanging the
 	// run. Off by default — whether a borderline point trips it depends on

@@ -134,6 +134,7 @@ func (o Options) runPartAgg(scheme Scheme, fanIn int, load float64, jobBytes int
 		}
 		return true
 	})
+	o.recordPerf(eng)
 
 	var s stats.Sample
 	for _, j := range gen.Jobs {

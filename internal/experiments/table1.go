@@ -140,6 +140,7 @@ func (o Options) runValidationSetup(set schemeSetup, k int, size int64) (meanMs,
 		hostsOf(ft, 0, 0), hostsOf(ft, 1, 0), k, size)
 
 	drain(eng, 60*sim.Second, allFlowsDone(flows))
+	o.recordPerf(eng)
 
 	var s stats.Sample
 	for _, f := range flows {

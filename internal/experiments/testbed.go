@@ -112,6 +112,7 @@ func (o Options) runTestbed(lp topo.LeafSpineParams, scheme Scheme, load float64
 	}
 	gen.Run()
 	drain(eng, o.maxWait(), allFlowsDone2(gen))
+	o.recordPerf(eng)
 
 	var s stats.Sample
 	for _, f := range gen.Flows {

@@ -87,6 +87,7 @@ func (o Options) runUDPSpray(burst int64) (maxShare, oooFrac float64) {
 	s.Stop()
 	bg.Stop()
 	eng.Run(25 * sim.Millisecond)
+	o.recordPerf(eng)
 
 	var total, max int64
 	for _, l := range ls.UpLinks[0] {

@@ -124,6 +124,7 @@ func (o Options) runWCMP(v WCMPVariant) (mean, p99, thinShare float64) {
 	}
 	gen.Run()
 	drain(eng, o.maxWait(), allFlowsDone2(gen))
+	o.recordPerf(eng)
 
 	var s stats.Sample
 	for _, f := range gen.Flows {

@@ -11,3 +11,7 @@ func (p *Packet) debugCheckLive(string) {}
 func (p *Packet) debugAlloc()      {}
 func (p *Packet) debugPoison()     {}
 func (p *Packet) debugDoubleFree() {}
+
+// debugCheckSelect is a no-op in release builds; with -tags simdebug every
+// selector-memo hit is cross-checked against a fresh Select call.
+func (s *Switch) debugCheckSelect(*Packet, []int32, int32) {}

@@ -40,3 +40,30 @@ func (p *Packet) debugPoison() {
 func (p *Packet) debugDoubleFree() {
 	panic(fmt.Sprintf("netsim: double free of packet (gen %d)", p.gen))
 }
+
+// debugCheckSelect cross-checks a memoized selector choice against a fresh
+// Select call. The cache is only consulted for cacheable (pure) selectors,
+// so the recomputation is side-effect-free. A divergence means the memo key
+// missed a dependency of the selector's choice, or an invalidation (route or
+// selector change) failed to bump the generation — either would silently
+// misroute flows in release builds.
+func (s *Switch) debugCheckSelect(pkt *Packet, eligible []int32, cached int32) {
+	want := s.sel.Select(s, pkt, eligible)
+	if want != cached {
+		panic(fmt.Sprintf(
+			"netsim: selector memo divergence at switch %d: cached port %d, recomputed %d (flow %d dst %d tag %d gen %d)",
+			s.id, cached, want, pkt.Flow, pkt.Dst, pkt.PathTag, s.selGen))
+	}
+}
+
+// DebugPokeSelectCache plants a (deliberately wrong) memoized choice for
+// pkt's key under the cache's current generation, as if an invalidation had
+// been missed. Only the simdebug build has it: tests use it to prove the
+// cross-check above actually fires. Panics if the switch has no memo cache.
+func (s *Switch) DebugPokeSelectCache(pkt *Packet, port int32) {
+	if s.selCache == nil {
+		panic("netsim: DebugPokeSelectCache on a switch without a selector memo cache")
+	}
+	sl := &s.selCache[selCacheIndex(pkt.HashPrefix, pkt.Dst, pkt.PathTag)]
+	*sl = selSlot{prefix: pkt.HashPrefix, dst: pkt.Dst, tag: pkt.PathTag, gen: s.selGen, port: port}
+}

@@ -1,0 +1,54 @@
+//go:build simdebug
+
+package netsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"flowbender/internal/netsim"
+	"flowbender/internal/routing"
+	"flowbender/internal/sim"
+)
+
+// TestSelectorMemoTripwire proves the simdebug hit cross-check actually
+// fires: a memo slot poisoned with a wrong port (as if an invalidation had
+// been missed) must panic on the next lookup instead of silently misrouting.
+func TestSelectorMemoTripwire(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := netsim.NewSwitch(eng, 100, 8, 10_000_000_000, netsim.SwitchConfig{})
+	all := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	routes := make([][]int32, 16)
+	for i := range routes {
+		routes[i] = all
+	}
+	sw.SetRoutes(routes)
+	sw.SetSelector(routing.ECMP{})
+
+	pkt := &netsim.Packet{
+		Flow: 7, Src: 3, Dst: 13, SrcPort: 41000, DstPort: 80,
+		Proto: netsim.ProtoTCP, PathTag: 2,
+	}
+	pkt.HashPrefix = routing.FlowHashPrefix(pkt.Src, pkt.Dst, pkt.SrcPort, pkt.DstPort, pkt.Proto)
+	pkt.HashPrefixOK = true
+
+	// Warm the memo and check hits agree with the selector while consistent.
+	want := sw.SelectEgress(pkt)
+	if got := sw.SelectEgress(pkt); got != want {
+		t.Fatalf("memoized choice %d != first choice %d", got, want)
+	}
+
+	// Poison the slot with a different port under the current generation.
+	wrong := (want + 1) % 8
+	sw.DebugPokeSelectCache(pkt, wrong)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("poisoned memo slot was served without tripping the cross-check")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "selector memo divergence") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	sw.SelectEgress(pkt)
+}

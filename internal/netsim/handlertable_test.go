@@ -1,0 +1,87 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+type idHandler int
+
+func (idHandler) Deliver(*Packet) {}
+
+// TestHandlerTableAgainstMap drives random put/get/del sequences through the
+// open-addressed table and a map reference; contents must agree after every
+// operation batch, including across growth and backward-shift deletion.
+func TestHandlerTableAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var tab handlerTable
+	ref := make(map[FlowID]Handler)
+	// Keys cluster in a small range so probe chains collide and deletions
+	// exercise the backward shift, with occasional far keys.
+	key := func() FlowID {
+		if rng.Intn(10) == 0 {
+			return FlowID(rng.Int63())
+		}
+		return FlowID(rng.Intn(200))
+	}
+	for op := 0; op < 20000; op++ {
+		f := key()
+		switch rng.Intn(3) {
+		case 0: // put
+			hd := idHandler(f)
+			_, dup := ref[f]
+			if ok := tab.put(f, hd); ok == dup {
+				t.Fatalf("op %d: put(%d) = %v with present=%v", op, f, ok, dup)
+			}
+			if !dup {
+				ref[f] = hd
+			}
+		case 1: // del
+			tab.del(f)
+			delete(ref, f)
+		case 2: // get
+			got := tab.get(f)
+			want := ref[f]
+			if got != want {
+				t.Fatalf("op %d: get(%d) = %v, want %v", op, f, got, want)
+			}
+		}
+		if tab.n != len(ref) {
+			t.Fatalf("op %d: size %d, reference %d", op, tab.n, len(ref))
+		}
+	}
+	// Full sweep: every reference entry resolvable, every absent key nil.
+	for f, want := range ref {
+		if got := tab.get(f); got != want {
+			t.Fatalf("final: get(%d) = %v, want %v", f, got, want)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		f := FlowID(rng.Int63())
+		if _, ok := ref[f]; !ok && tab.get(f) != nil {
+			t.Fatalf("final: get(%d) nonzero for absent key", f)
+		}
+	}
+}
+
+// TestHandlerTableBoundedByPeak checks the deletion path actually reclaims
+// slots: after churning far more flows than are ever live at once, the slot
+// array is sized by peak concurrency, not by the total number of flows seen.
+func TestHandlerTableBoundedByPeak(t *testing.T) {
+	var tab handlerTable
+	const live = 8
+	for f := FlowID(0); f < 10000; f++ {
+		tab.put(f, idHandler(f))
+		if f >= live {
+			tab.del(f - live)
+		}
+	}
+	if tab.n != live {
+		t.Fatalf("live count %d, want %d", tab.n, live)
+	}
+	// 8 live entries fit the minimum table; growth beyond one doubling of
+	// the minimum means deleted slots were never reclaimed.
+	if len(tab.slots) > 2*handlerTableMinSlots {
+		t.Fatalf("table grew to %d slots for %d live handlers: churn is leaking slots", len(tab.slots), live)
+	}
+}

@@ -29,7 +29,7 @@ type Host struct {
 	// Delay is the per-direction host processing delay.
 	Delay sim.Time
 
-	handlers map[FlowID]Handler
+	handlers handlerTable
 	pool     *PacketPool
 
 	// Counters.
@@ -44,11 +44,10 @@ type Host struct {
 // modeled bottleneck.
 func NewHost(eng *sim.Engine, id NodeID, rateBps int64, delay sim.Time) *Host {
 	h := &Host{
-		eng:      eng,
-		id:       id,
-		NIC:      NewPort(eng, rateBps),
-		Delay:    delay,
-		handlers: make(map[FlowID]Handler),
+		eng:   eng,
+		id:    id,
+		NIC:   NewPort(eng, rateBps),
+		Delay: delay,
 	}
 	h.NIC.Q.Presize(256)
 	return h
@@ -72,15 +71,28 @@ func (h *Host) UsePool(pl *PacketPool) {
 func (h *Host) NewPacket() *Packet { return h.pool.Get() }
 
 // Register attaches a flow handler; packets for flow are delivered to it.
+// Handlers live in a flat open-addressed table (not a map): delivery is the
+// per-packet hot path, and the table reclaims slots on Unregister, so a run
+// that churns many short flows keeps the table bounded by its peak
+// concurrency.
 func (h *Host) Register(flow FlowID, hd Handler) {
-	if _, dup := h.handlers[flow]; dup {
+	if hd == nil {
+		panic(fmt.Sprintf("netsim: host %d: nil handler for flow %d", h.id, flow))
+	}
+	if !h.handlers.put(flow, hd) {
 		panic(fmt.Sprintf("netsim: host %d: duplicate handler for flow %d", h.id, flow))
 	}
-	h.handlers[flow] = hd
 }
 
-// Unregister detaches a flow handler.
-func (h *Host) Unregister(flow FlowID) { delete(h.handlers, flow) }
+// Unregister detaches a flow handler, releasing its dispatch slot. Absent
+// flows are a no-op, so teardown paths may call it unconditionally.
+func (h *Host) Unregister(flow FlowID) { h.handlers.del(flow) }
+
+// Handler returns the handler registered for flow, or nil.
+func (h *Host) Handler(flow FlowID) Handler { return h.handlers.get(flow) }
+
+// HandlerCount returns the number of currently registered flow handlers.
+func (h *Host) HandlerCount() int { return h.handlers.n }
 
 // Send emits a packet from this host after the host processing delay.
 func (h *Host) Send(pkt *Packet) {
@@ -107,7 +119,7 @@ func (h *Host) Receive(pkt *Packet, _ int) {
 // deliver hands the packet to its flow's handler and then recycles it: the
 // host is every packet's terminal point on the success path.
 func (h *Host) deliver(pkt *Packet) {
-	if hd, ok := h.handlers[pkt.Flow]; ok {
+	if hd := h.handlers.get(pkt.Flow); hd != nil {
 		hd.Deliver(pkt)
 	} else {
 		h.Unclaimed++

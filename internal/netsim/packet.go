@@ -78,6 +78,16 @@ type Packet struct {
 	// switches fold it into the ECMP hash, so changing it re-routes the flow.
 	PathTag uint32
 
+	// HashPrefix, when HashPrefixOK is set, carries the selector hash state
+	// after mixing the flow-constant header fields (Src, Dst, SrcPort,
+	// DstPort, Proto) — see routing.FlowHashPrefix. Transports stamp it once
+	// per endpoint so every switch on the path resumes the hash instead of
+	// recomputing the flow-constant half; it also keys the per-switch
+	// selector memo cache. Both fields are zeroed by pool recycling, so a
+	// recycled packet can never leak a stale prefix.
+	HashPrefix   uint64
+	HashPrefixOK bool
+
 	// Seq is the first payload byte for data segments, or the cumulative
 	// acknowledgment number for ACKs.
 	Seq     int64

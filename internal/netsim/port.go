@@ -53,6 +53,14 @@ type Port struct {
 	busy   bool
 	paused bool
 
+	// Serialization-delay memo: steady-state traffic on one port repeats a
+	// single packet size, so the division in SerializationDelay is paid once
+	// per (size, rate) change. The rate is part of the key because fault
+	// injection degrades RateBps in place mid-run.
+	memoSize  int
+	memoRate  int64
+	memoDelay sim.Time
+
 	// pool, when set, recycles packets this port's link drops.
 	pool *PacketPool
 	// txPkt is the packet currently serializing; txDone is the prebuilt
@@ -83,7 +91,12 @@ func NewPort(eng *sim.Engine, rateBps int64) *Port {
 
 // SerializationDelay returns the time to put size bytes on the wire.
 func (p *Port) SerializationDelay(size int) sim.Time {
-	return sim.Time(int64(size) * 8 * int64(sim.Second) / p.RateBps)
+	if size == p.memoSize && p.RateBps == p.memoRate {
+		return p.memoDelay
+	}
+	d := sim.Time(int64(size) * 8 * int64(sim.Second) / p.RateBps)
+	p.memoSize, p.memoRate, p.memoDelay = size, p.RateBps, d
+	return d
 }
 
 // Enqueue offers a packet to the port. It returns false if the queue dropped

@@ -15,6 +15,39 @@ type Selector interface {
 	Select(sw *Switch, pkt *Packet, eligible []int32) int32
 }
 
+// CacheableSelector marks Selector implementations whose choice is a pure
+// function of (switch identity, destination, flow-constant header fields,
+// PathTag) — true for static hash selectors like ECMP, never for selectors
+// that consult an RNG (RPS) or live queue state (DeTail). Switches memoize
+// the choices of a cacheable selector in a small per-switch direct-mapped
+// cache keyed by the exact (HashPrefix, Dst, PathTag) triple, so
+// steady-state packets of a flow skip hashing entirely. SetSelector and
+// SetRoutes invalidate the cache by bumping its generation, which is
+// sufficient: fault injection mutates links and rates in place but the
+// forwarding table and selector only ever change through those two setters.
+type CacheableSelector interface {
+	Selector
+	// Cacheable reports whether Select's choices may be memoized.
+	Cacheable() bool
+}
+
+// selCacheSlots is the size of each switch's selector memo cache. It must be
+// a power of two; 1024 exact-keyed slots comfortably cover the concurrent
+// (flow, tag) working set of one switch in the paper's workloads.
+const selCacheSlots = 1024
+
+// selSlot is one direct-mapped selector-memo entry. The full key is stored
+// (not a fingerprint): a hit is only declared on exact (prefix, dst, tag)
+// equality, which is what makes the memo provably bit-identical to calling
+// the selector.
+type selSlot struct {
+	prefix uint64
+	dst    NodeID
+	tag    uint32
+	gen    uint32
+	port   int32
+}
+
 // PFCConfig enables Priority Flow Control on a switch: when the per-input
 // ingress accounting exceeds Pause bytes the upstream transmitter is paused,
 // and it is resumed once the accounting drains below Unpause bytes. With PFC
@@ -61,6 +94,12 @@ type Switch struct {
 	table [][]int32
 	sel   Selector
 	pool  *PacketPool
+
+	// Selector memo cache (nil unless the installed selector is cacheable).
+	// A slot is valid only while its gen equals selGen; SetSelector and
+	// SetRoutes bump selGen, invalidating every slot in O(1).
+	selCache []selSlot
+	selGen   uint32
 
 	// PFC ingress accounting.
 	ingressBytes []int
@@ -139,12 +178,29 @@ func (s *Switch) BufferedBytes() int64 { return s.buffered }
 // ID returns the switch's node identifier.
 func (s *Switch) ID() NodeID { return s.id }
 
-// SetSelector installs the multipath port selector.
-func (s *Switch) SetSelector(sel Selector) { s.sel = sel }
+// SetSelector installs the multipath port selector, enabling the per-switch
+// choice memo when the selector declares itself cacheable (and invalidating
+// any previously memoized choices either way).
+func (s *Switch) SetSelector(sel Selector) {
+	s.sel = sel
+	s.selGen++
+	if cs, ok := sel.(CacheableSelector); ok && cs.Cacheable() {
+		if s.selCache == nil {
+			s.selCache = make([]selSlot, selCacheSlots)
+		}
+	} else {
+		s.selCache = nil
+	}
+}
 
 // SetRoutes installs the forwarding table: routes[dst] lists the eligible
-// egress ports toward host dst.
-func (s *Switch) SetRoutes(routes [][]int32) { s.table = routes }
+// egress ports toward host dst. Installing routes invalidates the selector
+// memo cache — a memoized choice is only valid against the eligible list it
+// was computed from.
+func (s *Switch) SetRoutes(routes [][]int32) {
+	s.table = routes
+	s.selGen++
+}
 
 // Routes returns the installed forwarding table (for tests and tools).
 func (s *Switch) Routes() [][]int32 { return s.table }
@@ -205,7 +261,7 @@ func (s *Switch) forward(pkt *Packet) {
 	case len(eligible) == 1:
 		out = eligible[0]
 	default:
-		out = s.sel.Select(s, pkt, eligible)
+		out = s.selectPort(pkt, eligible)
 	}
 	if sb := s.cfg.SharedBuffer; sb > 0 && s.buffered+int64(pkt.Size) > int64(sb) {
 		s.DropsNoBuf++
@@ -222,6 +278,55 @@ func (s *Switch) forward(pkt *Packet) {
 	if s.cfg.SharedBuffer > 0 {
 		s.buffered += int64(pkt.Size)
 	}
+}
+
+// selectPort picks among >= 2 eligible egress ports, consulting the memo
+// cache when the installed selector is cacheable. Only packets carrying a
+// valid hash prefix participate: together with (Dst, PathTag) the prefix
+// exactly determines a static selector's choice, so a hit returns the very
+// port the selector would have computed. Misses fall through to the selector
+// and memoize its answer. Under -tags simdebug every hit is cross-checked
+// against a fresh Select call.
+func (s *Switch) selectPort(pkt *Packet, eligible []int32) int32 {
+	if s.selCache == nil || !pkt.HashPrefixOK {
+		return s.sel.Select(s, pkt, eligible)
+	}
+	sl := &s.selCache[selCacheIndex(pkt.HashPrefix, pkt.Dst, pkt.PathTag)]
+	if sl.gen == s.selGen && sl.prefix == pkt.HashPrefix && sl.dst == pkt.Dst && sl.tag == pkt.PathTag {
+		s.debugCheckSelect(pkt, eligible, sl.port)
+		return sl.port
+	}
+	out := s.sel.Select(s, pkt, eligible)
+	*sl = selSlot{prefix: pkt.HashPrefix, dst: pkt.Dst, tag: pkt.PathTag, gen: s.selGen, port: out}
+	return out
+}
+
+// selCacheIndex maps a memo key to a direct-mapped slot. The prefix is
+// already avalanche-quality entropy; dst and tag are folded in with odd
+// multipliers so flows to nearby destinations (or adjacent tags of one flow)
+// land in distinct slots.
+func selCacheIndex(prefix uint64, dst NodeID, tag uint32) int {
+	x := prefix ^ uint64(uint32(dst))*0x9e3779b97f4a7c15 ^ uint64(tag)*0xbf58476d1ce4e5b9
+	x ^= x >> 29
+	return int(x & (selCacheSlots - 1))
+}
+
+// SelectEgress returns the egress port the switch would forward pkt on
+// (including the memo cache, exactly as the data path does), or -1 when the
+// destination has no route. Exported for benchmarks and path-prediction
+// tools; it does not enqueue or mutate counters.
+func (s *Switch) SelectEgress(pkt *Packet) int32 {
+	if int(pkt.Dst) >= len(s.table) {
+		return -1
+	}
+	eligible := s.table[pkt.Dst]
+	switch {
+	case len(eligible) == 0:
+		return -1
+	case len(eligible) == 1:
+		return eligible[0]
+	}
+	return s.selectPort(pkt, eligible)
 }
 
 // dropPFC releases the PFC ingress accounting for a packet dropped inside

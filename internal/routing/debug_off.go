@@ -1,0 +1,9 @@
+//go:build !simdebug
+
+package routing
+
+import "flowbender/internal/netsim"
+
+// debugCheckPrefix is a no-op in release builds; with -tags simdebug it
+// verifies every resumed hash prefix against a from-scratch recomputation.
+func debugCheckPrefix(*netsim.Packet) {}

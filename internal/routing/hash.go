@@ -6,6 +6,37 @@ package routing
 
 import "flowbender/internal/netsim"
 
+// FNV-1a parameters (64-bit).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into the running FNV-1a state, byte-wise.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// FlowHashPrefix returns the FNV-1a state after folding in the flow-constant
+// header fields (Src, Dst, SrcPort, DstPort, Proto) — the switch-independent
+// prefix of flowKeyHash. FNV-1a is a sequential byte fold, so resuming from
+// this state and mixing the remaining words (PathTag, per-switch salt)
+// produces exactly the same hash as the from-scratch computation; equal
+// prefixes plus equal suffixes give equal digests by construction.
+//
+// Transports compute the prefix once per endpoint and stamp it into every
+// packet they emit (Packet.HashPrefix/HashPrefixOK), so a packet crossing k
+// switches runs the 16 flow-constant mix iterations zero times instead of k.
+func FlowHashPrefix(src, dst netsim.NodeID, srcPort, dstPort uint16, proto netsim.Proto) uint64 {
+	h := fnvMix(fnvOffset, uint64(uint32(src))<<32|uint64(uint32(dst)))
+	return fnvMix(h, uint64(srcPort)<<32|uint64(dstPort)<<16|uint64(proto))
+}
+
 // flowKeyHash hashes the fields commodity switches feed their ECMP engines —
 // the 5-tuple plus the paper's flexible field (PathTag) — together with a
 // per-switch salt. The salt models the per-device hash seed real switches
@@ -19,23 +50,20 @@ import "flowbender/internal/netsim"
 // forward and reverse paths in a rigid pattern instead of re-drawing them
 // independently, which breaks FlowBender's "statistical drift away from bad
 // paths" argument (§3.3.2).
+//
+// Packets carrying a valid HashPrefix resume from it instead of re-mixing
+// the flow-constant fields (see FlowHashPrefix); under -tags simdebug the
+// resumed prefix is cross-checked against a from-scratch recomputation.
 func flowKeyHash(pkt *netsim.Packet, salt uint64) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime
-			v >>= 8
-		}
+	var h uint64
+	if pkt.HashPrefixOK {
+		debugCheckPrefix(pkt)
+		h = pkt.HashPrefix
+	} else {
+		h = FlowHashPrefix(pkt.Src, pkt.Dst, pkt.SrcPort, pkt.DstPort, pkt.Proto)
 	}
-	mix(uint64(uint32(pkt.Src))<<32 | uint64(uint32(pkt.Dst)))
-	mix(uint64(pkt.SrcPort)<<32 | uint64(pkt.DstPort)<<16 | uint64(pkt.Proto))
-	mix(uint64(pkt.PathTag))
-	mix(salt)
+	h = fnvMix(h, uint64(pkt.PathTag))
+	h = fnvMix(h, salt)
 	// fmix64 avalanche (MurmurHash3 finalizer).
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd

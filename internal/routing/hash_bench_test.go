@@ -1,0 +1,51 @@
+package routing
+
+import (
+	"testing"
+
+	"flowbender/internal/netsim"
+)
+
+// benchPacket is a representative inter-pod TCP data segment.
+func benchPacket() *netsim.Packet {
+	return &netsim.Packet{
+		Flow:    7,
+		Src:     3,
+		Dst:     13,
+		SrcPort: 41000,
+		DstPort: 80,
+		Proto:   netsim.ProtoTCP,
+		PathTag: 2,
+	}
+}
+
+var hashSink uint64
+
+// BenchmarkFlowHashCold measures the full per-switch selector hash with no
+// prefix: 16 byte-fold iterations over the flow-constant fields plus the
+// per-hop suffix — what every packet paid at every switch before prefix
+// caching.
+func BenchmarkFlowHashCold(b *testing.B) {
+	pkt := benchPacket()
+	salt := uint64(0x1234567890abcdef)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hashSink = flowKeyHash(pkt, salt)
+	}
+}
+
+// BenchmarkFlowHashResumed measures the same hash resumed from a stamped
+// prefix (Packet.HashPrefix): only the PathTag and salt words are mixed, the
+// flow-constant half having been folded once at the transport.
+func BenchmarkFlowHashResumed(b *testing.B) {
+	pkt := benchPacket()
+	pkt.HashPrefix = FlowHashPrefix(pkt.Src, pkt.Dst, pkt.SrcPort, pkt.DstPort, pkt.Proto)
+	pkt.HashPrefixOK = true
+	salt := uint64(0x1234567890abcdef)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hashSink = flowKeyHash(pkt, salt)
+	}
+}

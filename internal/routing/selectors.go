@@ -16,6 +16,13 @@ func (ECMP) Select(sw *netsim.Switch, pkt *netsim.Packet, eligible []int32) int3
 	return eligible[h%uint64(len(eligible))]
 }
 
+// Cacheable implements netsim.CacheableSelector: the choice depends only on
+// the flow key, PathTag, and the switch's salt, so switches may memoize it.
+// RPS (RNG) and DeTail (live queue state) deliberately do not implement
+// this, and WCMP is excluded because its Weights map can be mutated without
+// the switch observing a change.
+func (ECMP) Cacheable() bool { return true }
+
 // RPS is Random Packet Spraying: every packet independently picks a uniform
 // random eligible port, maximizing instantaneous balance at the cost of
 // heavy reordering.

@@ -9,11 +9,22 @@
 // # Hot-path design
 //
 // Schedule/Step are the innermost loop of every experiment, so the engine
-// avoids both allocation and interface dispatch there: the priority queue is
-// a monomorphic 4-ary index min-heap over *Event (shallower than a binary
-// heap, with all four children on one cache line of pointers, and no
-// container/heap `any` boxing), and fired or reclaimed-cancelled events are
-// recycled through a per-engine free list, making steady-state scheduling
+// avoids allocation, interface dispatch, and pointer chasing there. Pending
+// events live in a calendar queue: a timing wheel of power-of-two-width time
+// buckets for the near future, backed by a single overflow heap for events
+// beyond the wheel's horizon (retransmission timers, teardown). Fabric
+// events — switch pipeline delays, serialization, host processing — are all
+// microsecond-scale, so the hot path degenerates to "append to a nearly
+// empty bucket, pop it a few ticks later": O(1) amortized, instead of the
+// O(log n) sift of a global heap whose comparisons dominated profiles.
+//
+// Each bucket (and the overflow) is itself a tiny 4-ary min-heap of entries
+// carrying the (time, insertion-order) sort key inline next to the *Event
+// pointer, so ordering within a tick never dereferences the events
+// themselves, and a pathological workload that piles thousands of events
+// into one bucket degrades to exactly the global-heap behavior rather than
+// anything quadratic. Fired or reclaimed-cancelled events are recycled
+// through a per-engine free list, making steady-state scheduling
 // allocation-free.
 //
 // # Event handle lifetime
@@ -60,9 +71,7 @@ func (t Time) String() string { return time.Duration(t).String() }
 // recycling.
 type Event struct {
 	at     Time
-	seq    uint64
 	fn     func()
-	index  int32 // heap index, -1 when not in the heap
 	fired  bool
 	cancel bool
 	pooled bool   // in the engine's free list awaiting reuse
@@ -78,26 +87,78 @@ func (e *Event) Fired() bool { e.debugAccess("Fired"); return e.fired }
 // Time returns the virtual time at which the event fires or fired.
 func (e *Event) Time() Time { e.debugAccess("Time"); return e.at }
 
+// heapEntry is one pending-event slot: the (at, seq) sort key stored inline
+// so ordering comparisons touch only the containing array, plus the event it
+// schedules.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
+
+func (a heapEntry) less(b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Timing-wheel geometry. A bucket spans 2^wheelLogW ns (~2 µs), and the
+// wheel covers wheelBuckets of them (~524 µs) ahead of the cursor — wide
+// enough that switch pipeline (1 µs), serialization (µs-scale), host
+// processing (20 µs), and paper-scale RTTs (~90 µs) all schedule within the
+// wheel, while RTO and teardown timers (≥10 ms) take the overflow path.
+const (
+	wheelLogW    = 11
+	wheelBuckets = 256
+	wheelMask    = wheelBuckets - 1
+)
+
 // Engine is a discrete-event scheduler. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	heap    []*Event // 4-ary min-heap ordered by (at, seq)
+	now Time
+	seq uint64
+
+	// The calendar queue. curTick is the wheel cursor: no pending wheel
+	// entry has a tick (at >> wheelLogW) below it. An entry whose tick is
+	// within wheelBuckets of the cursor lives in buckets[tick & wheelMask];
+	// anything further out waits in overflow (a 4-ary min-heap) and is
+	// migrated onto the wheel when the cursor approaches (see findMin).
+	curTick  int64
+	nWheel   int // entries across all buckets, including cancelled ones
+	buckets  [wheelBuckets][]heapEntry
+	overflow []heapEntry
+
 	free    []*Event // recycled Event objects
-	nCancel int      // cancelled events still occupying heap slots
+	nCancel int      // cancelled events still occupying queue slots
 	stopped bool
 	// Executed counts events that have run, for diagnostics and tests.
 	Executed uint64
 }
 
-// compactMin is the heap size below which lazy-deleted (cancelled) events
-// are never compacted — popping drains small heaps quickly anyway.
+// compactMin is the pending-event count below which lazy-deleted (cancelled)
+// events are never compacted — popping drains small queues quickly anyway.
 const compactMin = 64
+
+// bucketCap is each wheel bucket's pre-allocated capacity, sized to hold a
+// busy tick's event burst (TCP windows serialize ~2 packets per tick but
+// cluster several fabric steps each). The cursor rotates through all buckets
+// every lap, so every touched bucket's backing array is long-lived: carving
+// them all from one arena up front (256 × 32 × 24 B ≈ 200 KB per engine)
+// makes steady-state scheduling allocation-free instead of re-growing cold
+// buckets from nil each lap. A bucket that outgrows its slice falls back to
+// append's normal reallocation and keeps the larger array.
+const bucketCap = 32
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{heap: make([]*Event, 0, 1024)}
+	e := &Engine{overflow: make([]heapEntry, 0, 64)}
+	arena := make([]heapEntry, wheelBuckets*bucketCap)
+	for i := range e.buckets {
+		e.buckets[i] = arena[i*bucketCap : i*bucketCap : (i+1)*bucketCap][:0]
+	}
+	return e
 }
 
 // Now returns the current virtual time.
@@ -118,11 +179,100 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	}
 	ev := e.alloc()
 	ev.at = t
-	ev.seq = e.seq
 	ev.fn = fn
+	e.push(heapEntry{at: t, seq: e.seq, ev: ev})
 	e.seq++
-	e.push(ev)
 	return ev
+}
+
+// push files an entry into its wheel bucket, or into the overflow heap when
+// its tick lies beyond the wheel horizon. The cursor moves back when the new
+// entry precedes it (possible after Run jumped the clock past pending
+// events), preserving the invariant that no wheel entry's tick is below
+// curTick.
+func (e *Engine) push(en heapEntry) {
+	tick := int64(en.at) >> wheelLogW
+	if tick < e.curTick {
+		e.curTick = tick
+	} else if e.nWheel == 0 && len(e.overflow) == 0 {
+		// Empty engine: snap the cursor forward so an idle gap does not
+		// banish near-future work to the overflow heap.
+		e.curTick = tick
+	}
+	if tick-e.curTick < wheelBuckets {
+		entryHeapPush(&e.buckets[tick&wheelMask], en)
+		e.nWheel++
+	} else {
+		entryHeapPush(&e.overflow, en)
+	}
+}
+
+// findMin locates the earliest pending entry and returns the bucket whose
+// root it is, positioning the cursor on that bucket's tick. It returns nil
+// when nothing is pending. Overflow entries whose tick has come within the
+// wheel window are migrated onto the wheel first, so the earliest entry is
+// always a bucket root and same-time entries always meet in one bucket,
+// where their mini-heap orders them by insertion seq.
+func (e *Engine) findMin() *[]heapEntry {
+	for {
+		if len(e.overflow) > 0 {
+			rt := int64(e.overflow[0].at) >> wheelLogW
+			if rt < e.curTick || e.nWheel == 0 {
+				e.curTick = rt
+			}
+			for rt-e.curTick < wheelBuckets {
+				entryHeapPush(&e.buckets[rt&wheelMask], entryHeapPop(&e.overflow))
+				e.nWheel++
+				if len(e.overflow) == 0 {
+					break
+				}
+				rt = int64(e.overflow[0].at) >> wheelLogW
+			}
+		}
+		if e.nWheel == 0 {
+			return nil
+		}
+		// Scan one lap from the cursor for a bucket whose root belongs to
+		// the scanned position. A nonempty bucket whose root tick differs
+		// holds only later laps' entries; anything in this lap would sort
+		// before such a root, so skipping it cannot lose order.
+		for k := int64(0); k < wheelBuckets; k++ {
+			pos := e.curTick + k
+			b := &e.buckets[pos&wheelMask]
+			if len(*b) > 0 && int64((*b)[0].at)>>wheelLogW == pos {
+				e.curTick = pos
+				return b
+			}
+		}
+		// No root within one lap: every wheel entry sits beyond the horizon
+		// (possible after the cursor moved back). Jump to the earliest root
+		// tick — distinct buckets always hold distinct ticks, so comparing
+		// ticks alone is unambiguous — unless the overflow root now ties or
+		// precedes it, in which case the jump lets the migration loop pull
+		// it in first; then rescan.
+		best := int64(-1)
+		for i := range e.buckets {
+			if b := e.buckets[i]; len(b) > 0 {
+				if t := int64(b[0].at) >> wheelLogW; best < 0 || t < best {
+					best = t
+				}
+			}
+		}
+		if len(e.overflow) > 0 {
+			if t := int64(e.overflow[0].at) >> wheelLogW; t <= best {
+				best = t
+			}
+		}
+		e.curTick = best
+	}
+}
+
+// popBucket removes and returns b's root entry. b must be a wheel bucket
+// (findMin never returns the overflow heap: due overflow entries are
+// migrated onto the wheel before being popped).
+func (e *Engine) popBucket(b *[]heapEntry) heapEntry {
+	e.nWheel--
+	return entryHeapPop(b)
 }
 
 // alloc takes an Event from the free list, or heap-allocates the first time.
@@ -161,53 +311,82 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.cancel = true
-	// The event stays in the heap and is skipped when popped: Cancel is
-	// O(1). When cancelled events outnumber live ones the heap is compacted
-	// in one pass, so cancel-heavy workloads (retransmission timers are
-	// re-armed on every ACK) cannot grow the heap without bound.
+	// The event stays in its queue slot and is skipped when popped: Cancel
+	// is O(1). When cancelled events outnumber live ones the queue is
+	// compacted in one pass, so cancel-heavy workloads (retransmission
+	// timers are re-armed on every ACK) cannot grow it without bound.
 	e.nCancel++
-	if e.nCancel*2 > len(e.heap) && len(e.heap) >= compactMin {
+	if p := e.Pending(); e.nCancel*2 > p && p >= compactMin {
 		e.compact()
 	}
 }
 
-// compact removes every cancelled event from the heap in one pass and
-// re-establishes the heap property. Relative order of live events is
-// irrelevant for correctness: the (at, seq) key is a total order, so the
-// rebuilt heap pops in exactly the same sequence.
+// compact removes every cancelled event from the wheel and overflow in one
+// pass and re-establishes each mini-heap's property. Relative order of live
+// events is irrelevant for correctness: the (at, seq) key is a total order,
+// so the rebuilt queue pops in exactly the same sequence.
 func (e *Engine) compact() {
-	h := e.heap
+	e.overflow = e.compactHeap(e.overflow)
+	n := 0
+	for i := range e.buckets {
+		if len(e.buckets[i]) > 0 {
+			e.buckets[i] = e.compactHeap(e.buckets[i])
+			n += len(e.buckets[i])
+		}
+	}
+	e.nWheel = n
+	e.nCancel = 0
+}
+
+// compactHeap filters cancelled entries out of one mini-heap in place,
+// releasing their events, and re-heapifies the survivors.
+func (e *Engine) compactHeap(h []heapEntry) []heapEntry {
 	keep := h[:0]
-	for _, ev := range h {
-		if ev.cancel {
-			ev.index = -1
-			e.release(ev)
+	for _, en := range h {
+		if en.ev.cancel {
+			e.release(en.ev)
 		} else {
-			ev.index = int32(len(keep))
-			keep = append(keep, ev)
+			keep = append(keep, en)
 		}
 	}
 	for i := len(keep); i < len(h); i++ {
-		h[i] = nil
+		h[i] = heapEntry{}
 	}
-	e.heap = keep
-	e.nCancel = 0
 	for i := (len(keep) - 2) >> 2; i >= 0; i-- {
-		e.siftDown(i)
+		entrySiftDown(keep, i)
 	}
+	return keep
+}
+
+// minBucket is findMin with its fast path peeled for inlining into the
+// Run/Step loops: when the cursor bucket's root is due at the cursor tick
+// and the overflow heap holds nothing inside the wheel window, that root is
+// the global minimum by the cursor invariant — no scan needed.
+func (e *Engine) minBucket() *[]heapEntry {
+	b := &e.buckets[e.curTick&wheelMask]
+	if len(*b) > 0 && int64((*b)[0].at)>>wheelLogW == e.curTick &&
+		(len(e.overflow) == 0 || int64(e.overflow[0].at)>>wheelLogW-e.curTick >= wheelBuckets) {
+		return b
+	}
+	return e.findMin()
 }
 
 // Step executes the single next event. It returns false when no runnable
 // events remain.
 func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		ev := e.popRoot()
+	for {
+		b := e.minBucket()
+		if b == nil {
+			return false
+		}
+		en := e.popBucket(b)
+		ev := en.ev
 		if ev.cancel {
 			e.nCancel--
 			e.release(ev)
 			continue
 		}
-		e.now = ev.at
+		e.now = en.at
 		ev.fired = true
 		fn := ev.fn
 		fn()
@@ -215,23 +394,39 @@ func (e *Engine) Step() bool {
 		e.release(ev)
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue is empty or the virtual clock would
 // pass `until`. The clock is left at min(until, time of last event). Events
 // scheduled exactly at `until` are executed.
+//
+// The body is Step with the root peeked before popping (findMin leaves the
+// cursor on the due bucket, so the peek is one bucket access), since this
+// loop moves every packet of every experiment.
 func (e *Engine) Run(until Time) {
 	e.stopped = false
 	for !e.stopped {
-		ev := e.peek()
-		if ev == nil {
+		b := e.minBucket()
+		if b == nil {
 			break
 		}
-		if ev.at > until {
+		ev := (*b)[0].ev
+		if ev.cancel {
+			e.popBucket(b)
+			e.nCancel--
+			e.release(ev)
+			continue
+		}
+		if (*b)[0].at > until {
 			break
 		}
-		e.Step()
+		e.now = (*b)[0].at
+		e.popBucket(b)
+		ev.fired = true
+		fn := ev.fn
+		fn()
+		e.Executed++
+		e.release(ev)
 	}
 	if e.now < until {
 		e.now = until
@@ -250,90 +445,74 @@ func (e *Engine) RunUntilIdle() {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending returns the number of scheduled (possibly cancelled) events.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.nWheel + len(e.overflow) }
 
-func (e *Engine) peek() *Event {
-	for len(e.heap) > 0 {
-		if top := e.heap[0]; !top.cancel {
-			return top
-		}
-		ev := e.popRoot()
-		e.nCancel--
-		e.release(ev)
-	}
-	return nil
-}
+// --- 4-ary min-heap over []heapEntry, ordered by (at, seq) ---
+//
+// Shared by the overflow heap and every wheel bucket. The sort key is
+// duplicated into each entry so sifting never dereferences an *Event: all
+// comparisons and moves stay within the containing backing array (three
+// words per entry, so a 64-byte cache line still holds more than two entries
+// and the four children of a node span at most two lines).
 
-// --- 4-ary index min-heap over *Event, ordered by (at, seq) ---
-
-func less(a, b *Event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) push(ev *Event) {
-	i := len(e.heap)
-	e.heap = append(e.heap, ev)
-	// Sift up without writing ev into each visited slot.
+func entryHeapPush(hp *[]heapEntry, en heapEntry) {
+	h := append(*hp, en)
+	*hp = h
+	// Sift up without writing en into each visited slot.
+	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) >> 2
-		par := e.heap[p]
-		if !less(ev, par) {
+		if !en.less(h[p]) {
 			break
 		}
-		e.heap[i] = par
-		par.index = int32(i)
+		h[i] = h[p]
 		i = p
 	}
-	e.heap[i] = ev
-	ev.index = int32(i)
+	h[i] = en
 }
 
-func (e *Engine) popRoot() *Event {
-	h := e.heap
+func entryHeapPop(hp *[]heapEntry) heapEntry {
+	h := *hp
 	root := h[0]
 	n := len(h) - 1
 	last := h[n]
-	h[n] = nil
-	e.heap = h[:n]
-	root.index = -1
+	h[n] = heapEntry{} // drop the *Event reference for GC
+	h = h[:n]
+	*hp = h
 	if n > 0 {
-		e.heap[0] = last
-		last.index = 0
-		e.siftDown(0)
+		h[0] = last
+		entrySiftDown(h, 0)
 	}
 	return root
 }
 
-func (e *Engine) siftDown(i int) {
-	h := e.heap
+func entrySiftDown(h []heapEntry, i int) {
 	n := len(h)
-	ev := h[i]
+	en := h[i]
+	enAt, enSeq := en.at, en.seq
 	for {
 		c := i<<2 + 1
 		if c >= n {
 			break
 		}
-		// Minimum of up to four children.
-		m, mc := c, h[c]
+		// Minimum of up to four children. The running minimum's key is kept
+		// in registers so the scan never re-copies 24-byte entries.
+		m := c
+		mAt, mSeq := h[c].at, h[c].seq
 		end := c + 4
 		if end > n {
 			end = n
 		}
 		for k := c + 1; k < end; k++ {
-			if less(h[k], mc) {
-				m, mc = k, h[k]
+			if kAt := h[k].at; kAt < mAt || (kAt == mAt && h[k].seq < mSeq) {
+				m, mAt, mSeq = k, kAt, h[k].seq
 			}
 		}
-		if !less(mc, ev) {
+		if enAt < mAt || (enAt == mAt && enSeq < mSeq) {
 			break
 		}
-		h[i] = mc
-		mc.index = int32(i)
+		h[i] = h[m]
 		i = m
 	}
-	h[i] = ev
-	ev.index = int32(i)
+	h[i] = en
 }

@@ -111,9 +111,22 @@ func runEngineModel(data []byte) error {
 			break
 		}
 		switch op % 8 {
-		case 0, 1, 2, 3: // schedule (half of all ops; small delays force ties)
+		case 0, 1, 2, 3: // schedule (half of all ops)
 			db, _ := nextByte()
-			d := Time(db % 32)
+			// Three delay regimes so the calendar queue's paths are all
+			// exercised: tiny delays force same-time ties inside one wheel
+			// bucket, mid delays spread across buckets, and case-3 delays
+			// reach past the wheel horizon (~524 µs) into the overflow
+			// heap, covering migration and cursor wrap.
+			var d Time
+			switch {
+			case op%8 == 3:
+				d = Time(db) * 8191 // 0 .. ~2.1 ms, up to 4 laps out
+			case op%8 == 2:
+				d = Time(db) * 257 // 0 .. ~65 µs, tens of buckets
+			default:
+				d = Time(db % 32)
+			}
 			id := nextID
 			nextID++
 			h := &handle{id: id}
@@ -142,9 +155,13 @@ func runEngineModel(data []byte) error {
 			eng.Cancel(h.ev)
 			h.done = true
 			ref.cancel(h.id)
-		case 6: // run a bounded window
+		case 6: // run a bounded window (alternating near and multi-lap far)
 			db, _ := nextByte()
-			until := eng.Now() + Time(db%64)
+			w := Time(db % 64)
+			if db >= 128 {
+				w = Time(db) * 16384 // up to ~4 ms: jump the clock across laps
+			}
+			until := eng.Now() + w
 			eng.Run(until)
 			ref.run(until)
 			if eng.Now() != ref.now {
@@ -204,7 +221,10 @@ func TestEngineModelQuick(t *testing.T) {
 }
 
 // A few directed sequences that previously had no coverage: cancel storms,
-// interleaved run/step, and heavy same-time ties.
+// interleaved run/step, heavy same-time ties, and calendar-queue edges —
+// overflow migration, the cursor jumping forward past idle gaps, and the
+// cursor moving backward when a short delay is scheduled after Run left the
+// clock short of a far-future event (the lap-collision path).
 func TestEngineModelDirected(t *testing.T) {
 	seqs := [][]byte{
 		{},
@@ -212,6 +232,16 @@ func TestEngineModelDirected(t *testing.T) {
 		{0, 5, 1, 5, 2, 5, 3, 5, 4, 0, 4, 1, 6, 63},
 		{0, 0, 4, 0, 0, 0, 4, 0, 6, 10, 0, 0, 4, 1, 7, 2},
 		{3, 31, 2, 31, 1, 31, 0, 31, 5, 2, 5, 1, 5, 0, 6, 63, 6, 63},
+		// Far event beyond the horizon, then drain: overflow migration.
+		{3, 255, 7, 3},
+		// Far event; bounded run leaves it pending with the cursor advanced;
+		// then near events land behind the cursor and must still fire first.
+		{3, 255, 6, 150, 0, 5, 0, 5, 7, 3},
+		// Mixed laps: near, one lap out, four laps out, interleaved with
+		// cancels and a multi-lap run window.
+		{0, 9, 3, 70, 3, 255, 2, 200, 4, 1, 6, 255, 7, 3},
+		// Idle gap then reschedule: cursor snaps forward on an empty engine.
+		{0, 5, 7, 0, 3, 130, 7, 0, 0, 5, 7, 3},
 	}
 	for _, s := range seqs {
 		if err := runEngineModel(s); err != nil {

@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"flowbender/internal/netsim"
+	"flowbender/internal/routing"
 	"flowbender/internal/sim"
 )
 
@@ -23,6 +24,9 @@ type Receiver struct {
 	flow *Flow
 
 	srcPort, dstPort uint16 // for ACKs (receiver -> sender direction)
+	// hashPrefix is the flow-constant selector hash state of the reverse
+	// (ACK) direction, stamped into every packet the receiver emits.
+	hashPrefix uint64
 
 	rcvNxt     int64
 	maxSeqSeen int64
@@ -55,6 +59,7 @@ func newReceiver(eng *sim.Engine, cfg Config, flow *Flow, srcPort, dstPort uint1
 		maxSeqSeen: -1, pendingEcho: -1,
 	}
 	r.delackFn = r.onDelackTimer
+	r.hashPrefix = routing.FlowHashPrefix(flow.Dst.ID(), flow.Src.ID(), srcPort, dstPort, netsim.ProtoTCP)
 	return r
 }
 
@@ -77,6 +82,8 @@ func (r *Receiver) Deliver(pkt *netsim.Packet) {
 		sa.DstPort = r.dstPort
 		sa.Proto = netsim.ProtoTCP
 		sa.Kind = netsim.KindSynAck
+		sa.HashPrefix = r.hashPrefix
+		sa.HashPrefixOK = true
 		sa.PathTag = pkt.PathTag
 		sa.Size = netsim.HeaderBytes
 		sa.ECT = true
@@ -167,6 +174,8 @@ func (r *Receiver) flushAck(dsack bool, reorderDist int64) {
 	ack.DstPort = r.dstPort
 	ack.Proto = netsim.ProtoTCP
 	ack.Kind = netsim.KindAck
+	ack.HashPrefix = r.hashPrefix
+	ack.HashPrefixOK = true
 	ack.Seq = r.rcvNxt
 	ack.Size = netsim.HeaderBytes
 	ack.ECT = true

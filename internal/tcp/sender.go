@@ -3,6 +3,7 @@ package tcp
 import (
 	"flowbender/internal/core"
 	"flowbender/internal/netsim"
+	"flowbender/internal/routing"
 	"flowbender/internal/sim"
 )
 
@@ -16,6 +17,9 @@ type Sender struct {
 
 	srcPort, dstPort uint16
 	mss              int64
+	// hashPrefix is the flow-constant selector hash state stamped into every
+	// emitted packet (see routing.FlowHashPrefix).
+	hashPrefix uint64
 
 	// Window state (bytes).
 	cwnd     float64
@@ -116,6 +120,7 @@ func newSender(eng *sim.Engine, cfg Config, flow *Flow, srcPort, dstPort uint16)
 	if cfg.FlowBender != nil {
 		s.fb = core.New(*cfg.FlowBender)
 	}
+	s.hashPrefix = routing.FlowHashPrefix(flow.Src.ID(), flow.Dst.ID(), srcPort, dstPort, netsim.ProtoTCP)
 	s.cwnd = float64(int64(cfg.InitCwnd) * s.mss)
 	s.ssthresh = 1 << 40 // effectively unbounded until first loss signal
 	s.rto = cfg.RTOMin
@@ -153,6 +158,8 @@ func (s *Sender) sendSyn() {
 	syn.DstPort = s.dstPort
 	syn.Proto = netsim.ProtoTCP
 	syn.Kind = netsim.KindSyn
+	syn.HashPrefix = s.hashPrefix
+	syn.HashPrefixOK = true
 	syn.PathTag = s.PathTag()
 	syn.Size = netsim.HeaderBytes
 	syn.ECT = true
@@ -237,6 +244,8 @@ func (s *Sender) emit(seq int64, payload int, retx bool) {
 	pkt.DstPort = s.dstPort
 	pkt.Proto = netsim.ProtoTCP
 	pkt.Kind = netsim.KindData
+	pkt.HashPrefix = s.hashPrefix
+	pkt.HashPrefixOK = true
 	pkt.PathTag = s.PathTag()
 	pkt.Seq = seq
 	pkt.Payload = payload
@@ -341,7 +350,26 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 	if s.sndUna >= s.flow.Size && s.flow.SendDone < 0 {
 		s.flow.SendDone = now
 		s.cancelTimer()
+		s.scheduleTeardown()
 	}
+}
+
+// scheduleTeardown releases both endpoints' dispatch slots after a quiet
+// period of 2x RTOMax. The flow is complete (every byte acknowledged), so
+// the only traffic it can still receive is strays already in flight —
+// duplicate ACKs and spurious retransmissions, whose lifetime is bounded by
+// one path traversal, far below RTOMax. Waiting out the quiet period before
+// unregistering therefore changes no observable behaviour (a stray landing
+// before teardown still updates the endpoints exactly as it always did),
+// while long churny runs get their handler slots back instead of growing
+// host dispatch tables without bound.
+func (s *Sender) scheduleTeardown() {
+	s.eng.Schedule(2*s.cfg.RTOMax, s.teardown)
+}
+
+func (s *Sender) teardown() {
+	s.flow.Src.Unregister(s.flow.ID)
+	s.flow.Dst.Unregister(s.flow.ID)
 }
 
 func (s *Sender) onNewAck(ack int64, _ bool) {

@@ -9,6 +9,7 @@ package udp
 import (
 	"flowbender/internal/core"
 	"flowbender/internal/netsim"
+	"flowbender/internal/routing"
 	"flowbender/internal/sim"
 )
 
@@ -27,10 +28,13 @@ type Sender struct {
 	Sprayer *core.Sprayer
 
 	srcPort, dstPort uint16
-	interval         sim.Time
-	stopped          bool
-	seq              int64
-	tickFn           func() // prebuilt so each tick schedules without allocating
+	// hashPrefix is the flow-constant selector hash state stamped into every
+	// datagram (see routing.FlowHashPrefix).
+	hashPrefix uint64
+	interval   sim.Time
+	stopped    bool
+	seq        int64
+	tickFn     func() // prebuilt so each tick schedules without allocating
 
 	Sent int64 // datagrams emitted
 }
@@ -54,6 +58,7 @@ func NewSender(eng *sim.Engine, id netsim.FlowID, src, dst *netsim.Host, rateBps
 		interval: sim.Time(wire * 8 * int64(sim.Second) / rateBps),
 	}
 	s.tickFn = s.tick
+	s.hashPrefix = routing.FlowHashPrefix(src.ID(), dst.ID(), s.srcPort, s.dstPort, netsim.ProtoUDP)
 	return s
 }
 
@@ -95,6 +100,8 @@ func (s *Sender) tick() {
 	pkt.Proto = netsim.ProtoUDP
 	pkt.Kind = netsim.KindData
 	pkt.PathTag = tag
+	pkt.HashPrefix = s.hashPrefix
+	pkt.HashPrefixOK = true
 	pkt.Seq = s.seq
 	pkt.Payload = s.size
 	pkt.Size = s.size + netsim.HeaderBytes

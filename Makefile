@@ -17,10 +17,13 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Race-detector pass over the parallel experiment runner and everything else.
+# Race-detector pass over the parallel experiment runner and everything else,
+# plus the sharded-engine bit-identity proofs (serial vs sharded at several
+# shard counts, randomized-topology model check, runpool token sharing).
 test-race:
 	$(GO) test -race -short ./...
 	$(GO) test -race -run 'TestParallelDeterminism' ./internal/experiments/
+	$(GO) test -race -run 'TestSharded|TestByteIdentitySharded' ./internal/experiments/
 
 # The simulator suites again with use-after-free tripwires armed: recycled
 # events/packets are poisoned and any stale access panics with generation

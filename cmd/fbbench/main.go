@@ -43,6 +43,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		scale    = flag.String("scale", "small", "fabric scale: tiny, small, paper")
 		parallel = flag.Int("parallel", 0, "max concurrent simulation points (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
+		shards   = flag.Int("shards", 0, "split each ECMP simulation point across this many engine shards (0/1 = serial; output is identical at any count)")
 		seeds    = flag.Int("seeds", 0, "replicate each point over this many seeds and report mean ± stddev")
 		watchdog = flag.Duration("watchdog", 0, "wall-clock limit per simulation point; exceeding points report FAILED instead of hanging the run (0 = off)")
 		verb     = flag.Bool("v", false, "log per-run progress to stderr")
@@ -73,10 +74,10 @@ func main() {
 	case *compare:
 		exit(runCompare(*outDir, *baseline, *tol))
 	case *jsonMode:
-		exit(runJSON(*outDir, *scales, *seed, *parallel))
+		exit(runJSON(*outDir, *scales, *seed, *parallel, *shards))
 	}
 
-	o := experiments.Options{Seed: *seed, Parallelism: *parallel, Seeds: *seeds, Watchdog: *watchdog}
+	o := experiments.Options{Seed: *seed, Parallelism: *parallel, Shards: *shards, Seeds: *seeds, Watchdog: *watchdog}
 	sc, ok := parseScale(*scale)
 	if !ok {
 		fmt.Fprintln(os.Stderr, "fbbench: scale must be tiny, small, or paper")
@@ -149,11 +150,18 @@ func parseScale(s string) (experiments.ScaleLevel, bool) {
 // the best round of each metric goes into the snapshot (see Snapshot.Fold).
 const expRounds = 3
 
+// shardBenchFlows is the flow count of the paper-scale sharded benchmark
+// point: large enough that the 128-server fabric reaches steady state and
+// the bounded-lag barriers amortize, small enough that three rounds at two
+// shard counts stay affordable on a laptop-class box.
+const shardBenchFlows = 800
+
 // runJSON measures the hot-path micro-benchmarks and the wall clock plus
 // simulator throughput of every registered experiment at each requested
 // scale, then writes the snapshot.
-func runJSON(dir, scaleList string, seed int64, parallel int) int {
+func runJSON(dir, scaleList string, seed int64, parallel, shards int) int {
 	snap := benchkit.NewSnapshot(runtime.Version(), seed)
+	snap.Shards = shards
 
 	fmt.Fprintln(os.Stderr, "fbbench: measuring engine_schedule ...")
 	snap.Measure("engine_schedule", benchkit.EngineSchedule)
@@ -180,7 +188,7 @@ func runJSON(dir, scaleList string, seed int64, parallel int) int {
 			// wall clock is hostage to whatever else the machine is doing.
 			for round := 0; round < expRounds; round++ {
 				var perf experiments.PerfStats
-				o := experiments.Options{Seed: seed, Scale: level, Parallelism: parallel, Perf: &perf}
+				o := experiments.Options{Seed: seed, Scale: level, Parallelism: parallel, Shards: shards, Perf: &perf}
 				start := time.Now()
 				e.Run(o)
 				wall := time.Since(start)
@@ -188,6 +196,25 @@ func runJSON(dir, scaleList string, seed int64, parallel int) int {
 				snap.Fold(prefix+"_events_per_sec", perf.EventsPerSec(wall))
 				snap.Fold(prefix+"_simsec_per_wallsec", perf.SimSecPerWallSec(wall))
 			}
+		}
+	}
+
+	// Paper-scale sharded-engine benchmark: the same 128-server all-to-all
+	// point, serial and split four ways. The shards-4/shards-1 wall-clock
+	// ratio is the conservative-parallel engine's headline speedup (it only
+	// materializes on a multi-core box — see the snapshot's gomaxprocs/cpu
+	// metadata for what this run actually had).
+	for _, s := range []int{1, 4} {
+		fmt.Fprintf(os.Stderr, "fbbench: timing paper all-to-all at shards=%d ...\n", s)
+		prefix := fmt.Sprintf("exp_paper_a2a_ecmp_shards%d", s)
+		for round := 0; round < expRounds; round++ {
+			var perf experiments.PerfStats
+			o := experiments.Options{Seed: seed, Scale: experiments.ScalePaper, Shards: s, Perf: &perf}
+			start := time.Now()
+			experiments.ShardBench(o, 0.6, shardBenchFlows)
+			wall := time.Since(start)
+			snap.Fold(prefix+"_wall_ms", float64(wall.Microseconds())/1000)
+			snap.Fold(prefix+"_events_per_sec", perf.EventsPerSec(wall))
 		}
 	}
 
@@ -226,6 +253,10 @@ func runCompare(dir, baseline string, tol float64) int {
 	newer, err := benchkit.Load(newerPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fbbench:", err)
+		return 1
+	}
+	if err := benchkit.Comparable(older, newer); err != nil {
+		fmt.Fprintf(os.Stderr, "fbbench: refusing to compare %s vs %s: %v\n", olderPath, newerPath, err)
 		return 1
 	}
 	fmt.Printf("comparing %s (old) vs %s (new), tolerance %.0f%%\n", olderPath, newerPath, tol*100)

@@ -28,6 +28,28 @@ func TestRunCompareNeedsTwoSnapshots(t *testing.T) {
 	}
 }
 
+func TestRunCompareRefusesMismatchedConfig(t *testing.T) {
+	dir := t.TempDir()
+	// Same metrics, different machine shape: the diff would measure the
+	// hardware change, so -compare must refuse rather than report numbers.
+	writeSnapshot(t, dir, "20260101-000000",
+		`{"shards":4,"gomaxprocs":8,"cpu":"boxA","metrics":{"packet_hop_ns_per_hop":200}}`)
+	writeSnapshot(t, dir, "20260201-000000",
+		`{"shards":1,"gomaxprocs":1,"cpu":"boxB","metrics":{"packet_hop_ns_per_hop":200}}`)
+	if code := runCompare(dir, "", 0.10); code != 1 {
+		t.Fatalf("runCompare across configurations = %d, want 1 (refusal)", code)
+	}
+
+	// A legacy baseline with no recorded configuration still compares.
+	dir = t.TempDir()
+	writeSnapshot(t, dir, "20260101-000000", `{"metrics":{"packet_hop_ns_per_hop":200}}`)
+	writeSnapshot(t, dir, "20260201-000000",
+		`{"shards":4,"gomaxprocs":8,"cpu":"boxA","metrics":{"packet_hop_ns_per_hop":190}}`)
+	if code := runCompare(dir, "", 0.10); code != 0 {
+		t.Fatalf("runCompare with legacy baseline = %d, want 0", code)
+	}
+}
+
 func TestRunCompareBaseline(t *testing.T) {
 	dir := t.TempDir()
 	base := writeSnapshot(t, dir, "20260101-000000", `{"metrics":{"packet_hop_ns_per_hop":200,"exp_a_tiny_events_per_sec":1000000}}`)

@@ -32,6 +32,7 @@ func main() {
 		flows    = flag.Int("flows", 0, "override per-run flow count")
 		jobs     = flag.Int("jobs", 0, "override partition-aggregate job count")
 		parallel = flag.Int("parallel", 0, "max concurrent simulation points (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
+		shards   = flag.Int("shards", 0, "split each ECMP simulation point across this many engine shards (0/1 = serial; output is identical at any count)")
 		seeds    = flag.Int("seeds", 0, "replicate each point over this many seeds and report mean ± stddev")
 		cdfPath  = flag.String("cdf", "", "flow-size CDF file for all-to-all workloads (lines of \"<bytes> <cumulative-prob>\")")
 		faultSel = flag.String("faults", "", "comma-separated fault scenarios for -exp faults (empty = all; see -list-faults)")
@@ -110,6 +111,7 @@ func main() {
 		FlowCount:   *flows,
 		JobCount:    *jobs,
 		Parallelism: *parallel,
+		Shards:      *shards,
 		Seeds:       *seeds,
 		Watchdog:    *watchdog,
 	}

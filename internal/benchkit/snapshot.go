@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -23,6 +24,17 @@ type Snapshot struct {
 	// included (micro-benchmarks are scale-independent).
 	Scales []string `json:"scales"`
 	Seed   int64    `json:"seed"`
+	// Shards, Procs, and CPU identify the execution configuration the
+	// wall-clock metrics were measured under: the -shards flag in effect,
+	// runtime.GOMAXPROCS, and the CPU model. Wall-clock numbers from
+	// different configurations are not comparable — a 4-shard run on an
+	// 8-core box against a serial run on a laptop measures the hardware,
+	// not the code — so Comparable (and fbbench -compare) refuses to diff
+	// across a mismatch. Snapshots written before these fields existed
+	// carry zero values and skip the check.
+	Shards int    `json:"shards,omitempty"`
+	Procs  int    `json:"gomaxprocs,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
 	// Metrics maps metric name -> value. Conventions:
 	//   engine_schedule_ns_op / _allocs_op       per-event scheduler cost
 	//   packet_hop_ns / packet_hop_allocs        per switch-hop fabric cost
@@ -36,16 +48,58 @@ type Snapshot struct {
 // FilePrefix and pattern for trajectory snapshots.
 const FilePrefix = "BENCH_"
 
-// NewSnapshot returns an empty snapshot stamped with the current time and
-// toolchain.
+// NewSnapshot returns an empty snapshot stamped with the current time,
+// toolchain, and execution environment (GOMAXPROCS and CPU model; the shard
+// configuration is the caller's to set).
 func NewSnapshot(goVersion string, seed int64) *Snapshot {
 	return &Snapshot{
 		Schema:    1,
 		CreatedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: goVersion,
 		Seed:      seed,
+		Procs:     runtime.GOMAXPROCS(0),
+		CPU:       CPUModel(),
 		Metrics:   map[string]float64{},
 	}
+}
+
+// CPUModel returns the processor model string from /proc/cpuinfo, or the
+// architecture name where that is unavailable (non-Linux, restricted /proc).
+func CPUModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+			}
+		}
+	}
+	return runtime.GOARCH
+}
+
+// Comparable reports (as an error) whether old's wall-clock metrics can be
+// meaningfully diffed against new's: the shard configuration, GOMAXPROCS,
+// and CPU model must all match. Legacy snapshots with no recorded
+// configuration are accepted as-is — there is nothing to check against.
+func Comparable(old, new *Snapshot) error {
+	if old.Shards == 0 && old.Procs == 0 && old.CPU == "" {
+		return nil
+	}
+	var diffs []string
+	if old.Shards != new.Shards {
+		diffs = append(diffs, fmt.Sprintf("shards %d vs %d", old.Shards, new.Shards))
+	}
+	if old.Procs != new.Procs {
+		diffs = append(diffs, fmt.Sprintf("GOMAXPROCS %d vs %d", old.Procs, new.Procs))
+	}
+	if old.CPU != new.CPU {
+		diffs = append(diffs, fmt.Sprintf("CPU %q vs %q", old.CPU, new.CPU))
+	}
+	if len(diffs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("benchkit: snapshots were measured under different configurations (%s); wall-clock diffs would compare hardware, not code — re-measure with a matching setup or pick a -baseline from the same machine",
+		strings.Join(diffs, ", "))
 }
 
 // Filename returns the canonical snapshot filename for the creation time.

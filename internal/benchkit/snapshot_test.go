@@ -116,6 +116,44 @@ func TestCompareDirections(t *testing.T) {
 	}
 }
 
+func TestComparable(t *testing.T) {
+	base := func() *Snapshot {
+		return &Snapshot{Shards: 4, Procs: 8, CPU: "Intel Test CPU @ 2.10GHz"}
+	}
+	if err := Comparable(base(), base()); err != nil {
+		t.Errorf("identical configurations: got %v, want nil", err)
+	}
+	// Legacy snapshots (no metadata at all) are accepted against anything.
+	if err := Comparable(&Snapshot{}, base()); err != nil {
+		t.Errorf("legacy baseline: got %v, want nil", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Snapshot)
+		want   string
+	}{
+		{"shards", func(s *Snapshot) { s.Shards = 1 }, "shards"},
+		{"procs", func(s *Snapshot) { s.Procs = 1 }, "GOMAXPROCS"},
+		{"cpu", func(s *Snapshot) { s.CPU = "other" }, "CPU"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			newer := base()
+			tc.mutate(newer)
+			err := Comparable(base(), newer)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("got %v, want error naming %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCPUModelNonEmpty(t *testing.T) {
+	if CPUModel() == "" {
+		t.Error("CPUModel returned an empty string")
+	}
+}
+
 func TestFoldKeepsBestRound(t *testing.T) {
 	s := snap(map[string]float64{})
 	// Lower-is-better: the minimum across rounds wins.

@@ -85,9 +85,11 @@ func AllToAll(o Options) *AllToAllResult {
 			}
 		}
 	}
-	outs := runpool.Map(o.pool(), points, func(pt a2aPoint) *runOutcome {
+	pl := o.pool()
+	outs := runpool.Map(pl, points, func(pt a2aPoint) *runOutcome {
 		oo := o
 		oo.Seed = o.seedAt(pt.rep)
+		oo.execPool = pl
 		return oo.runAllToAll(allToAllSpec{scheme: pt.scheme, load: pt.load, flows: o.flowCount(), srcTor: -1})
 	})
 	idx := func(li, si, rep int) int { return (li*len(res.Schemes)+si)*reps + rep }

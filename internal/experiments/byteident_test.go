@@ -16,6 +16,16 @@ import (
 // Unlike golden_test.go (which pins formatting of fixed results), these run
 // the real simulations, so they cover engine ordering, RNG draw order, TCP
 // state machines, fault injection, and rendering end to end.
+//
+// The goldens were re-pinned once when same-instant event ordering became
+// intrinsic (keyed by insertion instant, device, and port — see
+// sim.AtTagged): the conservative-parallel sharded engine needs a tie order
+// that is a property of the simulated network, not of engine insertion
+// history, and serial execution adopts the identical keys so the two modes
+// stay provably bit-identical. The re-pin moved a handful of tie-sensitive
+// cells by seed-level noise (qualitative results unchanged) and bought
+// shard-count invariance: the same goldens now pin serial, -parallel, and
+// -shards execution alike.
 
 func byteIdentOpts() Options {
 	return Options{Seed: 7, Scale: ScaleTiny, FlowCount: 40, Repeats: 1}
@@ -75,6 +85,36 @@ func TestByteIdentityPaperFatTree(t *testing.T) {
 		if got := renderAllToAll(o); got != seq {
 			t.Errorf("paper fat-tree: output at -parallel %d differs from sequential", p)
 		}
+	}
+}
+
+// TestByteIdentityShardedAllToAll pins the sharded engine to the same golden
+// as serial execution: the conservative bounded-lag protocol must be
+// bit-invisible at every shard count, exactly as -parallel must be.
+func TestByteIdentityShardedAllToAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := byteIdentOpts()
+	o.Parallelism = 1
+	for _, s := range []int{1, 2, 4, 8} {
+		o.Shards = s
+		checkGolden(t, "byteident_alltoall", renderAllToAll(o))
+	}
+}
+
+// TestByteIdentityShardedPaperFatTree is the shard-count analogue of
+// TestByteIdentityPaperFatTree: the 128-server fabric partitions across
+// pods, so every shard count below exercises real cross-shard mailboxes.
+func TestByteIdentityShardedPaperFatTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := Options{Seed: 7, Scale: ScalePaper, FlowCount: 120, Repeats: 1}
+	o.Parallelism = 1
+	for _, s := range []int{2, 4, 8} {
+		o.Shards = s
+		checkGolden(t, "byteident_paper_alltoall", renderAllToAll(o))
 	}
 }
 

@@ -112,6 +112,9 @@ func (o Options) runAllToAllParams(p topo.Params, scheme Scheme, load float64) *
 // and returns its measurements. The workload RNG stream is independent of
 // the scheme, so every scheme sees the identical arrival sequence.
 func (o Options) runAllToAll(spec allToAllSpec) *runOutcome {
+	if out, ok := o.tryRunAllToAllSharded(spec); ok {
+		return out
+	}
 	eng := sim.NewEngine()
 	rootRNG := sim.NewRNG(o.Seed)
 	set := spec.scheme.setupRaw(rootRNG.Fork("scheme"), spec.fb, spec.rawFB)

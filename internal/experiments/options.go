@@ -64,6 +64,17 @@ type Options struct {
 	// GOMAXPROCS; 1 is fully sequential.
 	Parallelism int
 
+	// Shards splits each fat-tree simulation point across this many
+	// conservatively synchronized engine shards (bounded-lag windows, see
+	// sim.ShardSet). 0 or 1 runs serial. Results are byte-identical at any
+	// value: points that cannot shard safely — schemes with shared mid-run
+	// randomness (FlowBender's desync draws, RPS's spray selector) or
+	// synchronous fabric back-pressure (DeTail's PFC) — automatically fall
+	// back to serial execution. Shards composes with Parallelism: the
+	// shard workers borrow CPU tokens from the same pool that admits
+	// sibling points, so `-parallel N -shards M` never oversubscribes.
+	Shards int
+
 	// Seeds replicates each measured point over this many seeds (Seed,
 	// Seed+1000, Seed+2000, ...) and reports mean ± stddev where the
 	// experiment supports it (all-to-all, sensitivity, partition-
@@ -94,6 +105,17 @@ type Options struct {
 	// sharedPool, when non-nil, is used instead of a fresh pool so that
 	// RunAll can bound concurrency across experiments with one limit.
 	sharedPool *runpool.Pool
+
+	// execPool is the pool whose slot the current simulation point is
+	// running under; the sharded runner borrows extra worker tokens from
+	// it (see Pool.TryAcquire) so shard workers and sibling points share
+	// one CPU budget. Set by the Map call sites that fan points out.
+	execPool *runpool.Pool
+
+	// debugShardWindow (simdebug tripwire tests only) overrides the
+	// computed bounded-lag window and forces single-worker execution so
+	// the resulting lookahead violation panics on the caller's goroutine.
+	debugShardWindow sim.Time
 }
 
 // DefaultOptions returns the defaults used by the benchmark harness.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,6 +22,34 @@ type PerfStats struct {
 	Events atomic.Int64
 	// SimNanos sums the virtual time each point's engine reached.
 	SimNanos atomic.Int64
+
+	mu sync.Mutex
+	// shardEvents[i] accumulates events executed by shard i across all
+	// sharded points (empty when every point ran serial).
+	shardEvents []int64
+}
+
+// ShardEvents returns per-shard executed-event totals accumulated over every
+// sharded simulation point, or nil if no point ran sharded. The slice is a
+// copy.
+func (p *PerfStats) ShardEvents() []int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.shardEvents) == 0 {
+		return nil
+	}
+	out := make([]int64, len(p.shardEvents))
+	copy(out, p.shardEvents)
+	return out
+}
+
+func (p *PerfStats) addShard(shard int, events int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.shardEvents) <= shard {
+		p.shardEvents = append(p.shardEvents, 0)
+	}
+	p.shardEvents[shard] += events
 }
 
 // EventsPerSec returns executed events per wall-clock second.
@@ -48,4 +77,24 @@ func (o Options) recordPerf(eng *sim.Engine) {
 	}
 	o.Perf.Events.Add(int64(eng.Executed))
 	o.Perf.SimNanos.Add(int64(eng.Now()))
+}
+
+// recordPerfShards folds one finished sharded point into the attached
+// PerfStats: total events across shards, the furthest virtual time any shard
+// reached, and a per-shard event breakdown.
+func (o Options) recordPerfShards(engs []*sim.Engine) {
+	if o.Perf == nil {
+		return
+	}
+	var total int64
+	var maxNow sim.Time
+	for i, eng := range engs {
+		total += int64(eng.Executed)
+		if eng.Now() > maxNow {
+			maxNow = eng.Now()
+		}
+		o.Perf.addShard(i, int64(eng.Executed))
+	}
+	o.Perf.Events.Add(total)
+	o.Perf.SimNanos.Add(int64(maxNow))
 }

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"runtime"
+
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+	"flowbender/internal/tcp"
+	"flowbender/internal/topo"
+	"flowbender/internal/workload"
+)
+
+// tryRunAllToAllSharded executes one all-to-all point across Options.Shards
+// conservatively synchronized engine shards and returns measurements
+// byte-identical to the serial runAllToAll. It reports ok=false — sending
+// the caller down the serial path — whenever sharding cannot be both safe
+// and bit-identical:
+//
+//   - Shards <= 1: nothing to split.
+//   - scheme != ECMP: FlowBender and RPS draw from per-scheme RNG streams
+//     at packet-send time; splitting senders across shards would reorder
+//     those draws relative to serial. DeTail needs PFC (below).
+//   - PFC configured: pause/unpause is synchronous fabric back-pressure
+//     with zero slack, so the cross-shard lookahead would be zero.
+//   - the partition degenerates to one shard (tiny fabrics), or has no
+//     positive lookahead (zero-delay cross-shard paths).
+//
+// The workload is pre-drawn (workload.Predraw consumes the RNG exactly as
+// the live arrival process would), and each shard replays the arrival
+// schedule through a private beacon chain: beacon i fires at arrival i's
+// instant, starts the receiver if the destination is shard-local, then the
+// sender if the source is, then schedules beacon i+1. This reproduces the
+// serial generator's event-insertion order — receiver before sender, packet
+// events before the next-arrival event — which is what same-instant
+// tie-breaking keys on. Shards hosting neither endpoint pay one no-op event
+// per flow, a rounding error next to the packet traffic.
+// ShardBench runs one ECMP all-to-all point — the sharded engine's target
+// workload — and discards the tables: fbbench -json wall-clocks it at
+// different shard counts (via o.Shards) to track the conservative-parallel
+// engine's speedup in the benchmark trajectory. flows overrides the scale's
+// default flow count so the bench cost is tunable independently of the
+// experiment defaults; o.Perf receives event counts as usual.
+func ShardBench(o Options, load float64, flows int) {
+	o.runAllToAll(allToAllSpec{scheme: ECMP, load: load, flows: flows, srcTor: -1})
+}
+
+func (o Options) tryRunAllToAllSharded(spec allToAllSpec) (*runOutcome, bool) {
+	if o.Shards <= 1 || spec.scheme != ECMP || spec.flows <= 0 {
+		return nil, false
+	}
+	p := o.params()
+	if spec.params != nil {
+		p = *spec.params
+	}
+	part := topo.PartitionFatTree(p, o.Shards)
+	if part.Shards < 2 {
+		return nil, false
+	}
+	if w, ok := part.Lookahead(p); !ok || w <= 0 {
+		return nil, false
+	}
+
+	// Identical fork structure to the serial path: the scheme stream is
+	// forked (and, for ECMP, unused) before the workload stream.
+	rootRNG := sim.NewRNG(o.Seed)
+	set := spec.scheme.setupRaw(rootRNG.Fork("scheme"), spec.fb, spec.rawFB)
+	if set.pfc != nil {
+		return nil, false
+	}
+	p.PFC = set.pfc
+
+	engines := make([]*sim.Engine, part.Shards)
+	for i := range engines {
+		engines[i] = sim.NewEngine()
+	}
+	sft := topo.NewShardedFatTree(engines, p, part)
+	sft.SetSelector(set.sel)
+
+	cdf := spec.cdf
+	if cdf == nil {
+		cdf = o.CDF
+	}
+	if cdf == nil {
+		cdf = workload.WebSearchCDF()
+	}
+	gen := &workload.AllToAll{
+		RNG:   rootRNG.Fork("workload"),
+		Hosts: sft.Hosts,
+		CDF:   cdf,
+		MeanInterarrival: workload.AggregateInterarrival(
+			spec.load, p.BisectionBps(), p.InterPodFraction(), cdf.Mean()),
+	}
+	if spec.srcTor >= 0 {
+		gen.SrcHosts = hostsOf(sft.FatTree, 0, spec.srcTor)
+	}
+	arrivals := gen.Predraw(spec.flows)
+
+	shardOf := make(map[*netsim.Host]int, len(sft.Hosts))
+	for h, host := range sft.Hosts {
+		shardOf[host] = part.HostShard[h]
+	}
+	pending := make([]*tcp.PendingFlow, len(arrivals))
+	srcShard := make([]int, len(arrivals))
+	dstShard := make([]int, len(arrivals))
+	for i, a := range arrivals {
+		pending[i] = tcp.PlanFlow(set.cfg, netsim.FlowID(i+1), a.Src, a.Dst, a.Size)
+		srcShard[i] = shardOf[a.Src]
+		dstShard[i] = shardOf[a.Dst]
+	}
+
+	// One beacon chain per shard. The first arrival is handled synchronously
+	// at setup, mirroring the serial generator's Run() call at time zero.
+	for s := range engines {
+		s, eng := s, engines[s]
+		next := 0
+		var beacon func()
+		beacon = func() {
+			i := next
+			next++
+			if dstShard[i] == s {
+				pending[i].StartReceiver()
+			}
+			if srcShard[i] == s {
+				pending[i].StartSender()
+			}
+			if next < len(arrivals) {
+				eng.At(arrivals[next].At, beacon)
+			}
+		}
+		beacon()
+	}
+
+	window := sft.Window
+	workers := part.Shards
+	borrowed := 0
+	switch {
+	case o.debugShardWindow > 0:
+		// Tripwire mode: an oversized window plus a single worker, so the
+		// simdebug lookahead check panics on the calling goroutine.
+		window = o.debugShardWindow
+		workers = 1
+	case o.execPool != nil:
+		// Borrow the extra workers' CPU tokens from the pool this point is
+		// running under; the point's own slot covers worker zero.
+		borrowed = o.execPool.TryAcquire(part.Shards - 1)
+		defer o.execPool.Release(borrowed)
+		workers = 1 + borrowed
+	default:
+		if mp := runtime.GOMAXPROCS(0); workers > mp {
+			workers = mp
+		}
+	}
+
+	scratch := make([][]netsim.CrossMsg, part.Shards)
+	ss := &sim.ShardSet{
+		Engines: engines,
+		Window:  window,
+		Merge: func(shard int, windowEnd sim.Time) {
+			buf := sft.DrainInbox(shard, scratch[shard][:0])
+			netsim.MergeCross(buf, windowEnd)
+			scratch[shard] = buf
+		},
+	}
+	done := func() bool {
+		for _, pf := range pending {
+			if f := pf.Flow(); f.Start < 0 || !f.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	ss.Run(o.maxWait(), 5*sim.Millisecond, done, workers)
+	o.recordPerfShards(engines)
+
+	// Mirror the serial outcome exactly: gen.Flows holds only flows whose
+	// arrival event ran before the run stopped, in arrival order.
+	flows := make([]*tcp.Flow, 0, len(pending))
+	for _, pf := range pending {
+		if f := pf.Flow(); f.Start >= 0 {
+			flows = append(flows, f)
+		}
+	}
+	var simTime sim.Time
+	for _, eng := range engines {
+		if eng.Now() > simTime {
+			simTime = eng.Now()
+		}
+	}
+	out := &runOutcome{Flows: flows, SimTime: simTime}
+	out.collect()
+	return out, true
+}

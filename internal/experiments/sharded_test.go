@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"flowbender/internal/runpool"
+	"flowbender/internal/topo"
+)
+
+// firstDiff reports the first line where two fingerprints disagree.
+func firstDiff(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) || i < len(g); i++ {
+		wl, gl := "<eof>", "<eof>"
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			return fmt.Sprintf("line %d:\n  serial:  %s\n  sharded: %s", i, wl, gl)
+		}
+	}
+	return "no diff"
+}
+
+// flowFingerprint renders every per-flow observable the harness collects, so
+// two runs with equal fingerprints are indistinguishable to every consumer.
+func flowFingerprint(out *runOutcome) string {
+	s := fmt.Sprintf("flows=%d incomplete=%d data=%d ooo=%d to=%d rtx=%d\n",
+		len(out.Flows), out.Incomplete, out.DataPackets, out.OutOfOrder,
+		out.Timeouts, out.Retransmits)
+	for _, f := range out.Flows {
+		s += fmt.Sprintf("id=%d %d->%d size=%d start=%d recv=%d send=%d ooo=%d data=%d to=%d rtx=%d\n",
+			f.ID, f.Src.ID(), f.Dst.ID(), f.Size, f.Start, f.RecvDone, f.SendDone,
+			f.OutOfOrder(), f.DataPackets(), f.Sender().Timeouts, f.Sender().Retransmits)
+	}
+	return s
+}
+
+// The sharded runner must be bit-identical to serial execution at every
+// shard count: same flows, same per-flow event history observables.
+func TestShardedMatchesSerialTiny(t *testing.T) {
+	spec := allToAllSpec{scheme: ECMP, load: 0.6, flows: 200, srcTor: -1}
+	o := Options{Seed: 7, Scale: ScaleTiny}
+	want := flowFingerprint(o.runAllToAll(spec))
+
+	for _, shards := range []int{2, 4, 8} {
+		os := o
+		os.Shards = shards
+		out, ok := os.tryRunAllToAllSharded(spec)
+		if !ok {
+			t.Fatalf("shards=%d: sharded runner refused an ECMP point", shards)
+		}
+		if got := flowFingerprint(out); got != want {
+			t.Errorf("shards=%d diverges from serial:\n%s", shards, firstDiff(want, got))
+		}
+	}
+}
+
+// A sharded point running under the experiment runner's CPU-token pool must
+// borrow its extra workers from that shared budget (so -parallel N -shards M
+// never oversubscribes the box), give identical results however many tokens
+// it wins, and return every borrowed token when the point finishes.
+func TestShardedBorrowsPoolTokens(t *testing.T) {
+	spec := allToAllSpec{scheme: ECMP, load: 0.5, flows: 120, srcTor: -1}
+	base := Options{Seed: 3, Scale: ScaleTiny}
+	want := flowFingerprint(base.runAllToAll(spec))
+
+	for _, tokens := range []int{1, 2, 8} {
+		pl := runpool.New(tokens)
+		o := base
+		o.Shards = 4
+		o.execPool = pl
+		out, ok := o.tryRunAllToAllSharded(spec)
+		if !ok {
+			t.Fatalf("tokens=%d: sharded runner refused", tokens)
+		}
+		if got := flowFingerprint(out); got != want {
+			t.Errorf("tokens=%d: result depends on borrowed worker count:\n%s", tokens, firstDiff(want, got))
+		}
+		if got := pl.TryAcquire(tokens); got != tokens {
+			t.Errorf("tokens=%d: %d tokens leaked by the sharded run", tokens, tokens-got)
+		}
+	}
+}
+
+// Points that cannot shard safely must fall back to serial execution.
+func TestShardedFallbacks(t *testing.T) {
+	o := Options{Seed: 1, Scale: ScaleTiny, Shards: 4}
+	for _, scheme := range []Scheme{FlowBender, RPS, DeTail} {
+		if _, ok := o.tryRunAllToAllSharded(allToAllSpec{scheme: scheme, load: 0.3, flows: 50, srcTor: -1}); ok {
+			t.Errorf("scheme %v must not shard (shared RNG or PFC)", scheme)
+		}
+	}
+	// A fabric with zero switch and link delay has no cross-shard slack.
+	zero := topo.TinyScale()
+	zero.LinkDelay, zero.SwitchDelay = 0, 0
+	if _, ok := o.tryRunAllToAllSharded(allToAllSpec{scheme: ECMP, load: 0.3, flows: 50, srcTor: -1, params: &zero}); ok {
+		t.Error("zero-lookahead fabric must fall back to serial")
+	}
+}

@@ -58,9 +58,11 @@ func TopoDependence(o Options) *TopoDepResult {
 	for ci := range configs {
 		points = append(points, point{ci, ECMP}, point{ci, FlowBender})
 	}
-	outs := runpool.Map(o.pool(), points, func(pt point) float64 {
+	pl := o.pool()
+	outs := runpool.Map(pl, points, func(pt point) float64 {
 		opt := o
 		opt.Scale = configs[pt.ci].scale
+		opt.execPool = pl
 		return opt.runAllToAllOn(configs[pt.ci].p, pt.scheme, res.Load)
 	})
 	for ci, c := range configs {

@@ -2,7 +2,11 @@
 
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"flowbender/internal/sim"
+)
 
 // poisonSeq is written into recycled packets so stale reads see an absurd
 // sequence number even if they bypass the panics below.
@@ -53,6 +57,38 @@ func (s *Switch) debugCheckSelect(pkt *Packet, eligible []int32, cached int32) {
 		panic(fmt.Sprintf(
 			"netsim: selector memo divergence at switch %d: cached port %d, recomputed %d (flow %d dst %d tag %d gen %d)",
 			s.id, cached, want, pkt.Flow, pkt.Dst, pkt.PathTag, s.selGen))
+	}
+}
+
+// debugCheckCross validates one cross-shard arrival at merge time:
+//
+//  1. Lookahead: the arrival's scheduled effect (forward at +FwdDelay,
+//     deliver at +HostDelay) must land at or after the window boundary. A
+//     violation means the bounded-lag window was wider than the fabric's true
+//     minimum cross-shard delay — the consuming shard's clock has already
+//     passed the effect time, and release builds would corrupt causality.
+//  2. Merge order: the mailbox contents must arrive in strictly increasing
+//     (time, destination, port) key order; a violation means a mailbox was
+//     mutated outside the barrier protocol or the sort was bypassed, either
+//     of which silently breaks bit-identity with serial execution.
+func debugCheckCross(msgs []CrossMsg, i int, windowEnd sim.Time) {
+	m := &msgs[i]
+	effect := m.At
+	switch d := m.Dst.(type) {
+	case *Switch:
+		effect += d.cfg.FwdDelay
+	case *Host:
+		effect += d.Delay
+	}
+	if effect < windowEnd {
+		panic(fmt.Sprintf(
+			"netsim: shard lookahead violated: cross-shard arrival at %d has effect at %d before window end %d (dst %d port %d)",
+			m.At, effect, windowEnd, m.Dst.ID(), m.InPort))
+	}
+	if i > 0 && !crossKeyLess(msgs[i-1], *m) {
+		panic(fmt.Sprintf(
+			"netsim: cross-shard mailbox out of merge order at index %d (dst %d port %d at %d)",
+			i, m.Dst.ID(), m.InPort, m.At))
 	}
 }
 

@@ -50,6 +50,7 @@ func NewHost(eng *sim.Engine, id NodeID, rateBps int64, delay sim.Time) *Host {
 		Delay: delay,
 	}
 	h.NIC.Q.Presize(256)
+	h.NIC.tag = orderTag(tagKindTx, id, 0)
 	return h
 }
 

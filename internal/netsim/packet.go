@@ -153,6 +153,33 @@ const (
 	stepEnqueue       // host egress delay done -> NIC enqueue
 )
 
+// tagKindTx is the orderTag event class of a port's serialization-complete
+// event (Port.finishTx); the packet step kinds above are the other classes.
+const tagKindTx = stepEnqueue + 1
+
+// orderTag encodes a fabric event's intrinsic same-instant identity — event
+// class, device, port — as a sim ordering tag (3+9+4 bits). Two fabric
+// events with equal due time and insertion instant are ordered by this
+// identity rather than by engine insertion sequence, which is what makes the
+// schedule a property of the simulated network: a sharded run files cross-
+// boundary arrivals under the same tag a serial run would, so same-instant
+// queue contention resolves identically at any shard count.
+//
+// The identity is unique per (at, ins): a given input port has exactly one
+// upstream transmitter whose serialization spacing forbids two same-instant
+// arrivals, a port finishes at most one transmission per instant, and the
+// residual collisions (e.g. a host's ingress-vs-egress pipeline events) are
+// always shard-local on both sides, where insertion order is already
+// reproducible. Oversized identities (fabrics beyond 512 nodes or 16 ports,
+// which the shard partitioner refuses) degrade to TagNone, i.e. to plain
+// insertion order.
+func orderTag(kind uint8, dev NodeID, port int) uint16 {
+	if dev < 0 || dev >= 1<<9 || port < 0 || port >= 1<<4 {
+		return sim.TagNone
+	}
+	return uint16(kind)<<13 | uint16(dev)<<4 | uint16(port)
+}
+
 // scheduleStep arms the packet's single pending hop: after d, dev is invoked
 // per step. The one-pending-event invariant holds because each fabric stage
 // schedules the next only from inside the previous stage's completion.
@@ -161,7 +188,22 @@ func (p *Packet) scheduleStep(eng *sim.Engine, d sim.Time, step uint8, dev Devic
 	if p.stepFn == nil {
 		p.stepFn = p.runStep
 	}
-	eng.Schedule(d, p.stepFn)
+	now := eng.Now()
+	eng.AtTagged(now+d, now, orderTag(step, dev.ID(), port), p.stepFn)
+}
+
+// scheduleStepAt is scheduleStep with an absolute due time and insertion
+// stamp, used when a packet is injected across a shard boundary: the arrival
+// happened at a past instant `stamp` of the producing shard's clock, so its
+// effect must land at arrival-time-plus-delay rather than now-plus-delay,
+// and must tie-break against same-due-time events exactly as a serial run
+// would — same insertion instant, same (step, device, port) tag.
+func (p *Packet) scheduleStepAt(eng *sim.Engine, at, stamp sim.Time, step uint8, dev Device, port int) {
+	p.step, p.stepDev, p.stepPort = step, dev, int32(port)
+	if p.stepFn == nil {
+		p.stepFn = p.runStep
+	}
+	eng.AtTagged(at, stamp, orderTag(step, dev.ID(), port), p.stepFn)
 }
 
 func (p *Packet) runStep() {

@@ -53,6 +53,12 @@ type Port struct {
 	busy   bool
 	paused bool
 
+	// tag is the port's intrinsic ordering identity for serialization-
+	// complete events (orderTag of tagKindTx, owning device, port index),
+	// set when the owning switch or host is built. Bare ports default to
+	// TagNone, i.e. plain insertion order.
+	tag uint16
+
 	// Serialization-delay memo: steady-state traffic on one port repeats a
 	// single packet size, so the division in SerializationDelay is paid once
 	// per (size, rate) change. The rate is part of the key because fault
@@ -82,7 +88,7 @@ type Port struct {
 
 // NewPort returns a port transmitting at rateBps driven by eng.
 func NewPort(eng *sim.Engine, rateBps int64) *Port {
-	p := &Port{eng: eng, RateBps: rateBps}
+	p := &Port{eng: eng, RateBps: rateBps, tag: sim.TagNone}
 	p.txDone = p.finishTx
 	p.pauseFn = func() { p.SetPaused(true) }
 	p.resumeFn = func() { p.SetPaused(false) }
@@ -136,7 +142,8 @@ func (p *Port) kick() {
 	pkt := p.Q.Pop()
 	p.busy = true
 	p.txPkt = pkt
-	p.eng.Schedule(p.SerializationDelay(pkt.Size), p.txDone)
+	now := p.eng.Now()
+	p.eng.AtTagged(now+p.SerializationDelay(pkt.Size), now, p.tag, p.txDone)
 }
 
 // finishTx completes the current packet's serialization: counters, the

@@ -138,6 +138,7 @@ func NewSwitch(eng *sim.Engine, id NodeID, nPorts int, rateBps int64, cfg Switch
 	}
 	for i := range s.Ports {
 		p := NewPort(eng, rateBps)
+		p.tag = orderTag(tagKindTx, id, i)
 		p.Q.MarkK = cfg.MarkK
 		if cfg.PFC == nil {
 			p.Q.Cap = cfg.QueueCap

@@ -68,6 +68,34 @@ func New(parallelism int) *Pool {
 // Parallelism returns the pool's concurrency bound.
 func (p *Pool) Parallelism() int { return cap(p.sem) }
 
+// TryAcquire grabs up to n of the pool's CPU tokens without blocking and
+// returns how many it got (possibly zero). A running task that wants to go
+// multi-threaded internally — the sharded simulation engine spreading one
+// point over several worker goroutines — borrows the extra workers' tokens
+// from the same budget that bounds sibling tasks, so `-parallel N` times
+// `-shards M` can never oversubscribe the pool's bound: the point already
+// holds one token for itself and only parallelizes as far as idle capacity
+// allows. Every acquired token must be returned with Release.
+func (p *Pool) TryAcquire(n int) int {
+	got := 0
+	for got < n {
+		select {
+		case p.sem <- struct{}{}:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// Release returns n tokens previously obtained with TryAcquire.
+func (p *Pool) Release(n int) {
+	for i := 0; i < n; i++ {
+		<-p.sem
+	}
+}
+
 // SetWatchdog arms a wall-clock watchdog on every subsequently submitted
 // task: a task running longer than d resolves its Future with a
 // WatchdogError so the sweep can report the point as failed and keep going

@@ -87,11 +87,26 @@ func (e *Event) Fired() bool { e.debugAccess("Fired"); return e.fired }
 // Time returns the virtual time at which the event fires or fired.
 func (e *Event) Time() Time { e.debugAccess("Time"); return e.at }
 
-// heapEntry is one pending-event slot: the (at, seq) sort key stored inline
-// so ordering comparisons touch only the containing array, plus the event it
-// schedules.
+// heapEntry is one pending-event slot: the (at, ins, seq) sort key stored
+// inline so ordering comparisons touch only the containing array, plus the
+// event it schedules.
+//
+// `ins` is the virtual instant the event was inserted at. For events
+// scheduled through At/Schedule, seq order already implies ins order (the
+// clock never moves backwards between insertions), so the middle field
+// changes nothing for them; it exists so AtTagged can file an event as if
+// it had been inserted at an earlier instant, which is how the sharded
+// runtime makes deferred cross-shard deliveries land in the same relative
+// position they would have occupied serially.
+//
+// `seq` packs a 16-bit ordering tag above a 48-bit insertion counter (see
+// AtTagged), so the effective total order is (at, ins, tag, counter).
+// Untagged events carry tag 0xFFFF and therefore keep today's pure
+// insertion order among themselves while sorting after any tagged event
+// that shares their (at, ins).
 type heapEntry struct {
 	at  Time
+	ins Time
 	seq uint64
 	ev  *Event
 }
@@ -99,6 +114,9 @@ type heapEntry struct {
 func (a heapEntry) less(b heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.ins != b.ins {
+		return a.ins < b.ins
 	}
 	return a.seq < b.seq
 }
@@ -174,13 +192,43 @@ func (e *Engine) Schedule(d Time, fn func()) *Event {
 
 // At runs fn at absolute virtual time t, which must not be in the past.
 func (e *Engine) At(t Time, fn func()) *Event {
+	return e.AtTagged(t, e.now, TagNone, fn)
+}
+
+// TagNone is the ordering tag of events scheduled through At/Schedule: it
+// sorts after every explicit tag, and events carrying it order among
+// themselves purely by insertion sequence.
+const TagNone uint16 = 0xFFFF
+
+// seqCounterBits is how much of heapEntry.seq holds the insertion counter;
+// the 16 bits above it hold the ordering tag.
+const seqCounterBits = 48
+
+// AtTagged runs fn at absolute virtual time t, ordered against other events
+// due at t by (stamp, tag, insertion sequence): stamp (<= t) is the virtual
+// instant the event should be treated as inserted at, and tag is a caller-
+// chosen intrinsic priority within that instant. At(t, fn) is
+// AtTagged(t, Now(), TagNone, fn).
+//
+// The tagged form exists for conservative-parallel execution. Events that
+// can cross shard boundaries (fabric packet hops) are keyed by stable
+// identity — arrival instant, receiving device, input port — instead of by
+// the engine-local insertion counter, so their position among same-instant
+// rivals is a property of the simulated network, not of which shard
+// inserted them first. Serial runs use the identical keys and therefore
+// execute in the identical order, which is what makes sharded execution
+// bit-identical to serial.
+func (e *Engine) AtTagged(t, stamp Time, tag uint16, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule into the past: %d < %d", t, e.now))
+	}
+	if stamp > t {
+		panic(fmt.Sprintf("sim: insertion stamp after due time: %d > %d", stamp, t))
 	}
 	ev := e.alloc()
 	ev.at = t
 	ev.fn = fn
-	e.push(heapEntry{at: t, seq: e.seq, ev: ev})
+	e.push(heapEntry{at: t, ins: stamp, seq: uint64(tag)<<seqCounterBits | e.seq, ev: ev})
 	e.seq++
 	return ev
 }
@@ -447,13 +495,33 @@ func (e *Engine) Stop() { e.stopped = true }
 // Pending returns the number of scheduled (possibly cancelled) events.
 func (e *Engine) Pending() int { return e.nWheel + len(e.overflow) }
 
-// --- 4-ary min-heap over []heapEntry, ordered by (at, seq) ---
+// NextAt peeks at the due time of the next runnable event without executing
+// it or advancing the clock. Cancelled roots are popped and recycled on the
+// way — exactly the events Run would discard next — so the peek stays O(1)
+// amortized. The second result is false when no runnable event remains.
+func (e *Engine) NextAt() (Time, bool) {
+	for {
+		b := e.minBucket()
+		if b == nil {
+			return 0, false
+		}
+		ev := (*b)[0].ev
+		if ev.cancel {
+			e.popBucket(b)
+			e.nCancel--
+			e.release(ev)
+			continue
+		}
+		return (*b)[0].at, true
+	}
+}
+
+// --- 4-ary min-heap over []heapEntry, ordered by (at, ins, seq) ---
 //
 // Shared by the overflow heap and every wheel bucket. The sort key is
 // duplicated into each entry so sifting never dereferences an *Event: all
-// comparisons and moves stay within the containing backing array (three
-// words per entry, so a 64-byte cache line still holds more than two entries
-// and the four children of a node span at most two lines).
+// comparisons and moves stay within the containing backing array (four
+// words per entry, two entries per 64-byte cache line).
 
 func entryHeapPush(hp *[]heapEntry, en heapEntry) {
 	h := append(*hp, en)
@@ -489,26 +557,24 @@ func entryHeapPop(hp *[]heapEntry) heapEntry {
 func entrySiftDown(h []heapEntry, i int) {
 	n := len(h)
 	en := h[i]
-	enAt, enSeq := en.at, en.seq
 	for {
 		c := i<<2 + 1
 		if c >= n {
 			break
 		}
-		// Minimum of up to four children. The running minimum's key is kept
-		// in registers so the scan never re-copies 24-byte entries.
+		// Minimum of up to four children. The running minimum's index is
+		// tracked so the scan compares in place and never re-copies entries.
 		m := c
-		mAt, mSeq := h[c].at, h[c].seq
 		end := c + 4
 		if end > n {
 			end = n
 		}
 		for k := c + 1; k < end; k++ {
-			if kAt := h[k].at; kAt < mAt || (kAt == mAt && h[k].seq < mSeq) {
-				m, mAt, mSeq = k, kAt, h[k].seq
+			if h[k].less(h[m]) {
+				m = k
 			}
 		}
-		if enAt < mAt || (enAt == mAt && enSeq < mSeq) {
+		if en.less(h[m]) {
 			break
 		}
 		h[i] = h[m]

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestNextAtPeeksWithoutRunning(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("NextAt on empty engine reported an event")
+	}
+	e.Schedule(30, func() {})
+	h := e.Schedule(10, func() {})
+	e.Schedule(20, func() {})
+	if at, ok := e.NextAt(); !ok || at != 10 {
+		t.Fatalf("NextAt = %v,%v; want 10,true", at, ok)
+	}
+	if e.Now() != 0 || e.Executed != 0 {
+		t.Fatalf("NextAt advanced the engine: now=%v executed=%d", e.Now(), e.Executed)
+	}
+	// Cancelling the root must make NextAt discard it and report the next
+	// live event, exactly as Run would.
+	e.Cancel(h)
+	if at, ok := e.NextAt(); !ok || at != 20 {
+		t.Fatalf("NextAt after cancel = %v,%v; want 20,true", at, ok)
+	}
+	e.RunUntilIdle()
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("NextAt on drained engine reported an event")
+	}
+}
+
+// shardHarness is a two-shard ping-pong fixture: each bounce records a log
+// entry and mails the next bounce to the other shard one window ahead.
+type shardHarness struct {
+	engines []*Engine
+	boxes   [2][2][]pingMsg // [from][to], drained at merge
+	logs    [2][]string
+	window  Time
+	limit   Time
+}
+
+type pingMsg struct {
+	at Time
+	id int
+}
+
+func newShardHarness(window, limit Time) *shardHarness {
+	h := &shardHarness{
+		engines: []*Engine{NewEngine(), NewEngine()},
+		window:  window,
+		limit:   limit,
+	}
+	return h
+}
+
+func (h *shardHarness) bounce(shard, id int) func() {
+	var fn func()
+	fn = func() {
+		e := h.engines[shard]
+		h.logs[shard] = append(h.logs[shard], fmt.Sprintf("t=%d shard=%d id=%d", e.Now(), shard, id))
+		if e.Now() < h.limit {
+			h.boxes[shard][1-shard] = append(h.boxes[shard][1-shard], pingMsg{at: e.Now() + h.window, id: id})
+		}
+	}
+	return fn
+}
+
+func (h *shardHarness) merge(shard int, windowEnd Time) {
+	var msgs []pingMsg
+	for from := 0; from < 2; from++ {
+		msgs = append(msgs, h.boxes[from][shard]...)
+		h.boxes[from][shard] = h.boxes[from][shard][:0]
+	}
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].at != msgs[j].at {
+			return msgs[i].at < msgs[j].at
+		}
+		return msgs[i].id < msgs[j].id
+	})
+	for _, m := range msgs {
+		if m.at < windowEnd {
+			panic(fmt.Sprintf("merge: message at %d precedes window end %d", m.at, windowEnd))
+		}
+		h.engines[shard].At(m.at, h.bounce(shard, m.id))
+	}
+}
+
+func (h *shardHarness) run(workers int) [2][]string {
+	// Three independent ping-pong chains, interleaved across both shards.
+	for id := 0; id < 3; id++ {
+		h.engines[0].At(Time(id), h.bounce(0, id))
+	}
+	ss := &ShardSet{Engines: h.engines, Window: h.window, Merge: h.merge}
+	ss.Run(h.limit*4, 0, nil, workers)
+	return h.logs
+}
+
+func TestShardSetPingPongWorkerInvariant(t *testing.T) {
+	const window, limit = 100, 2000
+	want := newShardHarness(window, limit).run(1)
+	if len(want[0]) == 0 || len(want[1]) == 0 {
+		t.Fatal("ping-pong produced no traffic")
+	}
+	for workers := 2; workers <= 3; workers++ {
+		got := newShardHarness(window, limit).run(workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d log diverges from workers=1", workers)
+		}
+	}
+}
+
+func TestShardSetStopsAtDoneChunk(t *testing.T) {
+	// Each shard ticks every 10 time units forever; done() fires once shard
+	// 0 has executed 50 events, and must stop the run at the next chunk
+	// boundary — with the clock past the trigger but well short of deadline.
+	engines := []*Engine{NewEngine(), NewEngine()}
+	for i, e := range engines {
+		e := e
+		var tick func()
+		tick = func() { e.Schedule(10, tick) }
+		engines[i].Schedule(10, tick)
+	}
+	ss := &ShardSet{Engines: engines, Window: 25, Merge: func(int, Time) {}}
+	const chunk = 1000
+	ss.Run(1_000_000, chunk, func() bool { return engines[0].Executed >= 50 }, 2)
+	if engines[0].Executed < 50 {
+		t.Fatalf("stopped before done() could be true: executed=%d", engines[0].Executed)
+	}
+	if now := engines[0].Now(); now > 3*chunk {
+		t.Fatalf("ran far past the done chunk boundary: now=%v", now)
+	}
+	// Both shards stop at the same window; clocks agree to within one window.
+	if d := engines[0].Now() - engines[1].Now(); d > 25 || d < -25 {
+		t.Fatalf("shard clocks diverged at stop: %v vs %v", engines[0].Now(), engines[1].Now())
+	}
+}
+
+func TestShardSetDeadline(t *testing.T) {
+	e0, e1 := NewEngine(), NewEngine()
+	var last Time
+	var tick func()
+	tick = func() { last = e0.Now(); e0.Schedule(7, tick) }
+	e0.Schedule(7, tick)
+	ss := &ShardSet{Engines: []*Engine{e0, e1}, Window: 50, Merge: func(int, Time) {}}
+	ss.Run(500, 0, nil, 1)
+	if last > 500 {
+		t.Fatalf("event executed past deadline: %v", last)
+	}
+	if last < 450 {
+		t.Fatalf("stopped early: last event at %v, deadline 500", last)
+	}
+}

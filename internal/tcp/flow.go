@@ -66,20 +66,63 @@ func (f *Flow) FlowBenderStats() core.Stats {
 
 // StartFlow creates a sender on src and a receiver on dst for size payload
 // bytes and begins transmitting immediately. Port numbers are derived from
-// the flow ID to give the ECMP hash its 5-tuple entropy.
+// the flow ID to give the ECMP hash its 5-tuple entropy. The eng parameter
+// is retained for API stability; each endpoint runs on its own host's
+// engine, which in serial builds is the same engine.
 func StartFlow(eng *sim.Engine, cfg Config, id netsim.FlowID, src, dst *netsim.Host, size int64) *Flow {
+	_ = eng
+	pf := PlanFlow(cfg, id, src, dst, size)
+	pf.StartReceiver()
+	pf.StartSender()
+	return pf.Flow()
+}
+
+// PendingFlow is a planned but not yet started flow. It decouples flow
+// creation from endpoint activation so the sharded runner can plan every
+// flow up front and then start each endpoint as a time-ordered event on its
+// own shard's engine: StartReceiver must run on the destination host's
+// engine and StartSender on the source host's, at the same virtual instant,
+// receiver first when both share a shard (mirroring StartFlow's order).
+type PendingFlow struct {
+	f                *Flow
+	cfg              Config
+	srcPort, dstPort uint16
+}
+
+// PlanFlow validates the config and allocates the flow record without
+// touching either host. Flow.Start stays unset until StartSender runs.
+func PlanFlow(cfg Config, id netsim.FlowID, src, dst *netsim.Host, size int64) *PendingFlow {
 	cfg = cfg.withDefaults()
 	f := &Flow{
 		ID: id, Src: src, Dst: dst, Size: size,
-		Start: eng.Now(), RecvDone: -1, SendDone: -1,
+		Start: -1, RecvDone: -1, SendDone: -1,
 	}
-	srcPort := uint16(10000 + (uint64(id)*2654435761)%50000)
-	dstPort := uint16(5001)
+	return &PendingFlow{
+		f:       f,
+		cfg:     cfg,
+		srcPort: uint16(10000 + (uint64(id)*2654435761)%50000),
+		dstPort: 5001,
+	}
+}
 
-	f.receiver = newReceiver(eng, cfg, f, dstPort, srcPort)
-	f.sender = newSender(eng, cfg, f, srcPort, dstPort)
-	dst.Register(id, f.receiver)
-	src.Register(id, f.sender)
-	f.sender.start()
-	return f
+// Flow returns the planned flow record.
+func (pf *PendingFlow) Flow() *Flow { return pf.f }
+
+// StartReceiver creates the receiver endpoint and claims the destination
+// host's dispatch slot. No events are scheduled; the receiver only reacts
+// to arriving packets.
+func (pf *PendingFlow) StartReceiver() {
+	pf.f.receiver = newReceiver(pf.f.Dst.Engine(), pf.cfg, pf.f, pf.dstPort, pf.srcPort)
+	pf.f.Dst.Register(pf.f.ID, pf.f.receiver)
+}
+
+// StartSender creates the sender endpoint, claims the source host's dispatch
+// slot, stamps Flow.Start with the source engine's clock, and begins
+// transmitting.
+func (pf *PendingFlow) StartSender() {
+	eng := pf.f.Src.Engine()
+	pf.f.Start = eng.Now()
+	pf.f.sender = newSender(eng, pf.cfg, pf.f, pf.srcPort, pf.dstPort)
+	pf.f.Src.Register(pf.f.ID, pf.f.sender)
+	pf.f.sender.start()
 }

@@ -143,6 +143,13 @@ func (r *Receiver) Deliver(pkt *netsim.Packet) {
 		if r.flow.OnComplete != nil {
 			r.flow.OnComplete(r.flow)
 		}
+		if r.flow.Src.Engine() != r.flow.Dst.Engine() {
+			// Cross-shard flow: the sender's teardown cannot release this
+			// host's dispatch slot from another engine, so the receiver
+			// schedules its own — same 2x RTOMax quiet period, same
+			// stray-traffic argument as Sender.scheduleTeardown.
+			r.eng.Schedule(2*r.cfg.RTOMax, r.teardown)
+		}
 	}
 
 	// Fold this packet into the pending-ACK state. Karn's rule: only
@@ -162,6 +169,13 @@ func (r *Receiver) Deliver(pkt *netsim.Packet) {
 	if r.ackTimer == nil {
 		r.ackTimer = r.eng.Schedule(r.cfg.DelayedAckTimeout, r.delackFn)
 	}
+}
+
+// teardown releases the receiver's dispatch slot on its own shard; used
+// only for cross-shard flows (same-shard flows are torn down by the sender
+// for both endpoints, preserving the serial unregister order).
+func (r *Receiver) teardown() {
+	r.flow.Dst.Unregister(r.flow.ID)
 }
 
 // flushAck emits the cumulative acknowledgment covering all pending data.

@@ -369,7 +369,12 @@ func (s *Sender) scheduleTeardown() {
 
 func (s *Sender) teardown() {
 	s.flow.Src.Unregister(s.flow.ID)
-	s.flow.Dst.Unregister(s.flow.ID)
+	if s.flow.Src.Engine() == s.flow.Dst.Engine() {
+		s.flow.Dst.Unregister(s.flow.ID)
+	}
+	// Cross-shard flows release the destination slot from the receiver's
+	// own teardown (see Receiver.Deliver), keeping every handler-table
+	// mutation on its owning shard.
 }
 
 func (s *Sender) onNewAck(ack int64, _ bool) {

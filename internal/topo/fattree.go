@@ -46,19 +46,51 @@ type FatTree struct {
 // Core c attaches to agg c/K via that agg's uplink c%K, in every pod.
 // ToR-agg links run at TorAggRateBps; everything else at LinkRateBps.
 func NewFatTree(eng *sim.Engine, p Params) *FatTree {
+	ft := newFatTree(p, engineMap{
+		host: func(int) *sim.Engine { return eng },
+		tor:  func(int, int) *sim.Engine { return eng },
+		agg:  func(int, int) *sim.Engine { return eng },
+		core: func(int) *sim.Engine { return eng },
+	})
+	ft.Eng = eng
+	ft.Pool = netsim.NewPacketPool()
+	for _, h := range ft.Hosts {
+		h.UsePool(ft.Pool)
+	}
+	for _, s := range ft.AllSwitches() {
+		s.UsePool(ft.Pool)
+	}
+	return ft
+}
+
+// engineMap assigns an engine (execution shard) to every device of a
+// fat-tree under construction. Serial builds map everything to one engine;
+// sharded builds map each device to its partition's engine.
+type engineMap struct {
+	host func(h int) *sim.Engine
+	tor  func(pod, t int) *sim.Engine
+	agg  func(pod, a int) *sim.Engine
+	core func(c int) *sim.Engine
+}
+
+// newFatTree is the engine-agnostic builder shared by the serial and sharded
+// constructors. Construction schedules no events, so device creation order —
+// and with it every NodeID — is identical regardless of the engine mapping.
+// Pools are left for the caller to install.
+func newFatTree(p Params, em engineMap) *FatTree {
 	validate(p)
-	ft := &FatTree{P: p, Eng: eng}
+	ft := &FatTree{P: p}
 	n := p.NumHosts()
 
 	// Hosts.
 	ft.Hosts = make([]*netsim.Host, n)
 	for i := range ft.Hosts {
-		ft.Hosts[i] = netsim.NewHost(eng, netsim.NodeID(i), p.LinkRateBps, p.HostDelay)
+		ft.Hosts[i] = netsim.NewHost(em.host(i), netsim.NodeID(i), p.LinkRateBps, p.HostDelay)
 	}
 
 	// Switches. Switch NodeIDs live above the host ID space.
 	nextID := netsim.NodeID(n)
-	newSwitch := func(ports int) *netsim.Switch {
+	newSwitch := func(eng *sim.Engine, ports int) *netsim.Switch {
 		s := netsim.NewSwitch(eng, nextID, ports, p.LinkRateBps, p.switchConfig())
 		nextID++
 		return s
@@ -68,14 +100,14 @@ func NewFatTree(eng *sim.Engine, p Params) *FatTree {
 		ft.Tors = append(ft.Tors, nil)
 		ft.Aggs = append(ft.Aggs, nil)
 		for t := 0; t < p.TorsPerPod; t++ {
-			tor := newSwitch(p.ServersPerTor + p.AggsPerPod)
+			tor := newSwitch(em.tor(pod, t), p.ServersPerTor+p.AggsPerPod)
 			for a := 0; a < p.AggsPerPod; a++ {
 				tor.Ports[p.ServersPerTor+a].RateBps = fat
 			}
 			ft.Tors[pod] = append(ft.Tors[pod], tor)
 		}
 		for a := 0; a < p.AggsPerPod; a++ {
-			agg := newSwitch(p.TorsPerPod + p.CoreUplinksPerAgg)
+			agg := newSwitch(em.agg(pod, a), p.TorsPerPod+p.CoreUplinksPerAgg)
 			for t := 0; t < p.TorsPerPod; t++ {
 				agg.Ports[t].RateBps = fat
 			}
@@ -84,19 +116,11 @@ func NewFatTree(eng *sim.Engine, p Params) *FatTree {
 	}
 	ft.Cores = make([]*netsim.Switch, p.NumCores())
 	for c := range ft.Cores {
-		ft.Cores[c] = newSwitch(p.Pods)
+		ft.Cores[c] = newSwitch(em.core(c), p.Pods)
 	}
 
 	ft.wire()
 	ft.installRoutes()
-
-	ft.Pool = netsim.NewPacketPool()
-	for _, h := range ft.Hosts {
-		h.UsePool(ft.Pool)
-	}
-	for _, s := range ft.AllSwitches() {
-		s.UsePool(ft.Pool)
-	}
 	return ft
 }
 

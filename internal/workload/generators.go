@@ -92,6 +92,43 @@ func (g *AllToAll) arrive() {
 	g.Eng.Schedule(g.RNG.Exp(g.MeanInterarrival), g.arrive)
 }
 
+// Arrival is one pre-drawn all-to-all flow arrival: who sends what to whom,
+// when. Flow IDs are positional — arrival i corresponds to the (i+1)-th
+// ID the generator's allocator would hand out.
+type Arrival struct {
+	At       sim.Time
+	Src, Dst *netsim.Host
+	Size     int64
+}
+
+// Predraw consumes the generator's RNG exactly as n live arrivals would and
+// returns them without starting any flows. It lets the sharded runner plan
+// the entire workload up front — every start becomes a pre-scheduled event
+// on the owning shard's engine — while drawing the identical random stream,
+// so the resulting traffic is byte-identical to Run's. Call it instead of
+// Run, never in addition (both consume the same stream); Eng, Start, and
+// IDs may be nil.
+func (g *AllToAll) Predraw(n int) []Arrival {
+	out := make([]Arrival, 0, n)
+	var t sim.Time
+	for i := 0; i < n; i++ {
+		var src *netsim.Host
+		if len(g.SrcHosts) > 0 {
+			src = g.SrcHosts[g.RNG.Intn(len(g.SrcHosts))]
+		} else {
+			src = g.Hosts[g.RNG.Intn(len(g.Hosts))]
+		}
+		dst := src
+		for dst == src {
+			dst = g.Hosts[g.RNG.Intn(len(g.Hosts))]
+		}
+		size := g.CDF.Sample(g.RNG)
+		out = append(out, Arrival{At: t, Src: src, Dst: dst, Size: size})
+		t += g.RNG.Exp(g.MeanInterarrival)
+	}
+	return out
+}
+
 // Job is one partition–aggregate transaction: n workers respond
 // simultaneously to one aggregator; the job completes when the slowest
 // response finishes.

@@ -32,11 +32,12 @@ func main() {
 		flows    = flag.Int("flows", 0, "override per-run flow count")
 		jobs     = flag.Int("jobs", 0, "override partition-aggregate job count")
 		parallel = flag.Int("parallel", 0, "max concurrent simulation points (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
-		shards   = flag.Int("shards", 0, "split each ECMP simulation point across this many engine shards (0/1 = serial; output is identical at any count)")
+		shards   = flag.Int("shards", 0, "split each shardable simulation point (ECMP/Flowlet/FlowDyn, see -list-schemes) across this many engine shards (0/1 = serial; output is identical at any count)")
 		seeds    = flag.Int("seeds", 0, "replicate each point over this many seeds and report mean ± stddev")
 		cdfPath  = flag.String("cdf", "", "flow-size CDF file for all-to-all workloads (lines of \"<bytes> <cumulative-prob>\")")
 		faultSel = flag.String("faults", "", "comma-separated fault scenarios for -exp faults (empty = all; see -list-faults)")
 		listF    = flag.Bool("list-faults", false, "list available fault scenarios")
+		listS    = flag.Bool("list-schemes", false, "list the load-balancing schemes experiments compare")
 		watchdog = flag.Duration("watchdog", 0, "wall-clock limit per simulation point; exceeding points report FAILED instead of hanging the run (0 = off)")
 		verb     = flag.Bool("v", false, "log per-run progress (and simulator throughput) to stderr")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of a table")
@@ -88,6 +89,10 @@ func main() {
 		for _, name := range experiments.FaultScenarioNames() {
 			fmt.Printf("  %s\n", name)
 		}
+		exit(0)
+	}
+	if *listS {
+		experiments.PrintSchemes(os.Stdout)
 		exit(0)
 	}
 	if *list || *exp == "" {

@@ -114,16 +114,16 @@ type faultPoint struct {
 }
 
 // FaultMatrix runs the chaos-scenario suite: every fault scenario crossed
-// with ECMP and FlowBender, comparing completion rate, affected-flow FCT,
-// time-to-recover, and reroute counts. Points run in parallel on the pool;
-// a point that panics or trips the watchdog is reported as a failed cell
-// and the rest of the matrix still completes.
+// with the full scheme comparison set, measuring completion rate,
+// affected-flow FCT, time-to-recover, and reroute counts. Points run in
+// parallel on the pool; a point that panics or trips the watchdog is
+// reported as a failed cell and the rest of the matrix still completes.
 func FaultMatrix(o Options) *FaultMatrixResult {
 	res := &FaultMatrixResult{
 		FlowBytes: 10_000_000,
 		FailAt:    1 * sim.Millisecond,
 		Deadline:  2 * sim.Second,
-		Schemes:   []Scheme{ECMP, FlowBender},
+		Schemes:   AllSchemes,
 		Cells:     make(map[string]map[Scheme]FaultCell),
 	}
 	if o.Scale == ScaleTiny {

@@ -41,7 +41,10 @@ func fixedAllToAll(seeds int) *AllToAllResult {
 		Loads:    DefaultLoads,
 		Schemes:  AllSchemes,
 		Cells:    make(map[float64]map[Scheme][stats.NumBins]AllToAllCell),
-		OOO:      map[Scheme]float64{ECMP: 0.0000123, FlowBender: 0.000345, RPS: 0.0456, DeTail: 0.0078},
+		OOO: map[Scheme]float64{
+			ECMP: 0.0000123, FlowBender: 0.000345, RPS: 0.0456, DeTail: 0.0078,
+			Flowlet: 0.0011, FlowDyn: 0.0022, RepFlow: 0.0000456, DiffFlow: 0.0234,
+		},
 		Reroutes: map[float64]int64{0.2: 12, 0.4: 34, 0.6: 56},
 		Seeds:    seeds,
 	}
@@ -78,20 +81,29 @@ func TestGoldenAllToAllPrintMultiSeed(t *testing.T) {
 }
 
 func fixedTable1(seeds int) *Table1Result {
+	// Two hand-built scheme columns keep the fixture readable while still
+	// pinning the per-(row, scheme) line layout that the full set uses.
 	return &Table1Result{
 		FlowBytes: 50_000_000,
 		Paths:     4,
 		Seeds:     seeds,
+		Schemes:   []Scheme{ECMP, FlowBender},
 		Rows: []Table1Row{
-			{Flows: 4, ECMPMeanMs: 812, ECMPMaxMs: 1530, FBMeanMs: 462, FBMaxMs: 497,
-				ECMPMeanStdMs: 41, FBMeanStdMs: 9, IdealMs: 400,
-				ECMPMaxOverMean: 1.88, FBMaxOverMean: 1.08},
-			{Flows: 8, ECMPMeanMs: 1420, ECMPMaxMs: 2410, FBMeanMs: 841, FBMaxMs: 902,
-				ECMPMeanStdMs: 66, FBMeanStdMs: 12, IdealMs: 800,
-				ECMPMaxOverMean: 1.70, FBMaxOverMean: 1.07},
-			{Flows: 12, ECMPMeanMs: 1980, ECMPMaxMs: 3100, FBMeanMs: 1265, FBMaxMs: 1388,
-				ECMPMeanStdMs: 90, FBMeanStdMs: 21, IdealMs: 1200,
-				ECMPMaxOverMean: 1.57, FBMaxOverMean: 1.10},
+			{Flows: 4, IdealMs: 400,
+				MeanMs:      []float64{812, 462},
+				MaxMs:       []float64{1530, 497},
+				MeanStdMs:   []float64{41, 9},
+				MaxOverMean: []float64{1.88, 1.08}},
+			{Flows: 8, IdealMs: 800,
+				MeanMs:      []float64{1420, 841},
+				MaxMs:       []float64{2410, 902},
+				MeanStdMs:   []float64{66, 12},
+				MaxOverMean: []float64{1.70, 1.07}},
+			{Flows: 12, IdealMs: 1200,
+				MeanMs:      []float64{1980, 1265},
+				MaxMs:       []float64{3100, 1388},
+				MeanStdMs:   []float64{90, 21},
+				MaxOverMean: []float64{1.57, 1.10}},
 		},
 	}
 }
@@ -106,4 +118,12 @@ func TestGoldenTable1PrintMultiSeed(t *testing.T) {
 	var buf bytes.Buffer
 	fixedTable1(5).Print(&buf)
 	checkGolden(t, "table1_seeds", buf.String())
+}
+
+// TestGoldenSchemes pins fbsim -list-schemes output: the full comparison
+// set, each scheme's sharded-vs-serial all-to-all path, and its parameters.
+func TestGoldenSchemes(t *testing.T) {
+	var buf bytes.Buffer
+	PrintSchemes(&buf)
+	checkGolden(t, "schemes", buf.String())
 }

@@ -101,6 +101,10 @@ type allToAllSpec struct {
 	rawFB bool
 	// params overrides the Options-derived fat-tree parameters.
 	params *topo.Params
+	// setupFn, when non-nil, replaces the scheme's standard setup (the
+	// degenerate-config differential tests inject edge-case parameters
+	// through it). Such runs always take the serial path.
+	setupFn func(rng *sim.RNG) schemeSetup
 }
 
 // runAllToAllParams runs the all-to-all workload on an explicit fat-tree.
@@ -117,7 +121,13 @@ func (o Options) runAllToAll(spec allToAllSpec) *runOutcome {
 	}
 	eng := sim.NewEngine()
 	rootRNG := sim.NewRNG(o.Seed)
-	set := spec.scheme.setupRaw(rootRNG.Fork("scheme"), spec.fb, spec.rawFB)
+	schemeRNG := rootRNG.Fork("scheme")
+	var set schemeSetup
+	if spec.setupFn != nil {
+		set = spec.setupFn(schemeRNG)
+	} else {
+		set = spec.scheme.setupRaw(schemeRNG, spec.fb, spec.rawFB)
+	}
 
 	p := o.params()
 	if spec.params != nil {

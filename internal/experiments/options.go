@@ -68,9 +68,11 @@ type Options struct {
 	// conservatively synchronized engine shards (bounded-lag windows, see
 	// sim.ShardSet). 0 or 1 runs serial. Results are byte-identical at any
 	// value: points that cannot shard safely — schemes with shared mid-run
-	// randomness (FlowBender's desync draws, RPS's spray selector) or
-	// synchronous fabric back-pressure (DeTail's PFC) — automatically fall
-	// back to serial execution. Shards composes with Parallelism: the
+	// randomness (FlowBender's desync draws, RPS's and DiffFlow's spray
+	// selectors), host-side replica planning (RepFlow), or synchronous
+	// fabric back-pressure (DeTail's PFC) — automatically fall back to
+	// serial execution; ECMP, Flowlet, and FlowDyn points shard (see
+	// Scheme.shardable). Shards composes with Parallelism: the
 	// shard workers borrow CPU tokens from the same pool that admits
 	// sibling points, so `-parallel N -shards M` never oversubscribes.
 	Shards int

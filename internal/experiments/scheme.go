@@ -27,16 +27,24 @@ import (
 // Scheme identifies one of the load-balancing schemes under comparison.
 type Scheme int
 
-// The schemes evaluated by the paper.
+// The comparison set: the paper's §4 schemes (ECMP, FlowBender, RPS,
+// DeTail) plus the competitor matrix v2 — flowlet switching with a fixed
+// gap, FlowDyn-style dynamic gap detection, RepFlow short-flow replication,
+// and DiffFlow short/long differentiation.
 const (
 	ECMP Scheme = iota
 	FlowBender
 	RPS
 	DeTail
+	Flowlet
+	FlowDyn
+	RepFlow
+	DiffFlow
 )
 
-// AllSchemes lists the paper's comparison set in presentation order.
-var AllSchemes = []Scheme{ECMP, FlowBender, RPS, DeTail}
+// AllSchemes lists the comparison set in presentation order: the paper's
+// §4 schemes first, then the post-2014 competitors.
+var AllSchemes = []Scheme{ECMP, FlowBender, RPS, DeTail, Flowlet, FlowDyn, RepFlow, DiffFlow}
 
 func (s Scheme) String() string {
 	switch s {
@@ -48,6 +56,14 @@ func (s Scheme) String() string {
 		return "RPS"
 	case DeTail:
 		return "DeTail"
+	case Flowlet:
+		return "Flowlet"
+	case FlowDyn:
+		return "FlowDyn"
+	case RepFlow:
+		return "RepFlow"
+	case DiffFlow:
+		return "DiffFlow"
 	}
 	return fmt.Sprintf("scheme(%d)", int(s))
 }
@@ -60,6 +76,21 @@ type schemeSetup struct {
 	sel netsim.Selector
 	pfc *netsim.PFCConfig
 }
+
+// Default parameters of the competitor schemes. Exposed as constants so the
+// docs, the -list-schemes registry, and the tests agree on one value.
+const (
+	// DefaultFlowletGap is the fixed idle-gap threshold of the Flowlet
+	// scheme: roughly 2x the fabric's base RTT, the classical "safe to
+	// switch" operating point.
+	DefaultFlowletGap = 200 * sim.Microsecond
+	// RepFlowCutoff is RepFlow's short-flow replication threshold (the
+	// paper's 100 KB).
+	RepFlowCutoff int64 = 100 * 1024
+	// DiffFlowCutoff is DiffFlow's short-flow spray threshold: flows below
+	// it are sprayed per packet, flows at or above stay on per-flow paths.
+	DiffFlowCutoff int64 = 100 * 1024
+)
 
 // StabilityGap is the default minimum number of RTT epochs between
 // congestion-triggered reroutes (the paper's §5.1 extension). The paper's
@@ -110,8 +141,40 @@ func (s Scheme) setupRaw(rng *sim.RNG, fb core.Config, raw bool) schemeSetup {
 		out.sel = routing.DeTail{}
 		out.cfg.DisableFastRetx = true
 		out.pfc = &netsim.PFCConfig{Pause: 20 * topo.KB, Unpause: 10 * topo.KB}
+	case Flowlet:
+		out.sel = &routing.Flowlet{Gap: DefaultFlowletGap}
+	case FlowDyn:
+		out.sel = routing.NewFlowDyn()
+	case RepFlow:
+		out.cfg.Replicate = &tcp.ReplicateConfig{Cutoff: RepFlowCutoff}
+	case DiffFlow:
+		// Forked under the same label RPS uses so the cutoff-∞ degenerate
+		// configuration draws the identical stream as an RPS run — the
+		// differential test pins bit-identity between the two.
+		out.sel = &routing.DiffFlow{RNG: rng.Fork("rps")}
+		out.cfg.SprayShortCutoff = DiffFlowCutoff
 	default:
 		panic("experiments: unknown scheme")
 	}
 	return out
+}
+
+// shardable reports whether an all-to-all point of this scheme may split
+// across conservatively synchronized engine shards and stay bit-identical
+// to the serial run. ECMP, Flowlet, and FlowDyn qualify: their selectors
+// are deterministic functions of switch-local state (the flow hash, the
+// per-switch flowlet table, egress queue depths, and the switch's own
+// clock), and the sharded schedule replays every switch's packet-arrival
+// sequence exactly. FlowBender, RPS, and DiffFlow draw from one shared RNG
+// stream at packet-send/selection time (splitting consumers across shards
+// would reorder the draws), RepFlow plans replica sub-flows at the host
+// (the sharded planner pre-plans exactly one flow per arrival), and DeTail
+// needs PFC, whose synchronous back-pressure leaves zero cross-shard
+// lookahead — those four take the documented serial fallback.
+func (s Scheme) shardable() bool {
+	switch s {
+	case ECMP, Flowlet, FlowDyn:
+		return true
+	}
+	return false
 }

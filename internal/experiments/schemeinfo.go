@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"flowbender/internal/sim"
+)
+
+// SchemeInfo describes one load-balancing scheme for discoverability
+// tooling (fbsim -list-schemes).
+type SchemeInfo struct {
+	Scheme Scheme
+	// Desc is a one-line description of the mechanism.
+	Desc string
+	// Params lists the scheme's tunable parameters with their defaults
+	// (empty for parameterless schemes).
+	Params string
+	// Sharded reports whether the scheme's all-to-all points run on the
+	// sharded conservative-parallel path (false = documented serial
+	// fallback).
+	Sharded bool
+}
+
+// SchemeInfos returns the scheme registry in presentation order.
+func SchemeInfos() []SchemeInfo {
+	infos := make([]SchemeInfo, 0, len(AllSchemes))
+	for _, s := range AllSchemes {
+		info := SchemeInfo{Scheme: s, Sharded: s.shardable()}
+		switch s {
+		case ECMP:
+			info.Desc = "static per-flow hashing over equal-cost paths"
+		case FlowBender:
+			info.Desc = "host reroutes congested/failed flows by re-drawing the hash field V"
+			info.Params = fmt.Sprintf("T=%.0f%% N=1 stability-gap=%d epochs", 5.0, StabilityGap)
+		case RPS:
+			info.Desc = "random packet spraying: uniform random path per packet"
+		case DeTail:
+			info.Desc = "per-packet least-queued adaptive routing on a lossless (PFC) fabric"
+		case Flowlet:
+			info.Desc = "flowlet switching: path redraw after a fixed idle gap"
+			info.Params = fmt.Sprintf("gap=%dus (InfiniteGap degenerates to ECMP)",
+				DefaultFlowletGap/sim.Microsecond)
+		case FlowDyn:
+			info.Desc = "flowlet switching with a dynamic per-port gap from tracked drain times"
+			info.Params = "gap=[20us,1ms] mult=2.0 ewma-gain=0.25"
+		case RepFlow:
+			info.Desc = "short flows replicated on two ECMP paths; first finisher wins"
+			info.Params = fmt.Sprintf("cutoff=%dKB replication-factor=2", RepFlowCutoff/1024)
+		case DiffFlow:
+			info.Desc = "short flows sprayed per packet, long flows pinned per flow"
+			info.Params = fmt.Sprintf("cutoff=%dKB (0 degenerates to ECMP, unbounded to RPS)",
+				DiffFlowCutoff/1024)
+		}
+		infos = append(infos, info)
+	}
+	return infos
+}
+
+// PrintSchemes renders the scheme registry (fbsim -list-schemes).
+func PrintSchemes(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\talltoall path\tdescription\tparameters")
+	for _, info := range SchemeInfos() {
+		path := "serial"
+		if info.Sharded {
+			path = "sharded"
+		}
+		params := info.Params
+		if params == "" {
+			params = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", info.Scheme, path, info.Desc, params)
+	}
+	tw.Flush()
+}

@@ -17,9 +17,14 @@ import (
 // and bit-identical:
 //
 //   - Shards <= 1: nothing to split.
-//   - scheme != ECMP: FlowBender and RPS draw from per-scheme RNG streams
-//     at packet-send time; splitting senders across shards would reorder
-//     those draws relative to serial. DeTail needs PFC (below).
+//   - a non-shardable scheme (see Scheme.shardable): FlowBender, RPS, and
+//     DiffFlow draw from per-scheme RNG streams at packet-send/selection
+//     time — splitting consumers across shards would reorder those draws
+//     relative to serial; RepFlow plans replica sub-flows at the host while
+//     this planner pre-plans exactly one flow per arrival; DeTail needs PFC
+//     (below). ECMP, Flowlet, and FlowDyn shard: their selectors depend only
+//     on switch-local state, which the shard protocol replays exactly.
+//   - a custom setupFn (differential tests): its semantics are unknown here.
 //   - PFC configured: pause/unpause is synchronous fabric back-pressure
 //     with zero slack, so the cross-shard lookahead would be zero.
 //   - the partition degenerates to one shard (tiny fabrics), or has no
@@ -45,7 +50,7 @@ func ShardBench(o Options, load float64, flows int) {
 }
 
 func (o Options) tryRunAllToAllSharded(spec allToAllSpec) (*runOutcome, bool) {
-	if o.Shards <= 1 || spec.scheme != ECMP || spec.flows <= 0 {
+	if o.Shards <= 1 || !spec.scheme.shardable() || spec.flows <= 0 || spec.setupFn != nil {
 		return nil, false
 	}
 	p := o.params()

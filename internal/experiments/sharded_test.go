@@ -5,7 +5,10 @@ import (
 	"strings"
 	"testing"
 
+	"flowbender/internal/routing"
 	"flowbender/internal/runpool"
+	"flowbender/internal/sim"
+	"flowbender/internal/tcp"
 	"flowbender/internal/topo"
 )
 
@@ -88,13 +91,44 @@ func TestShardedBorrowsPoolTokens(t *testing.T) {
 	}
 }
 
+// The flowlet-family selectors keep all their state per switch, so their
+// points must shard and stay bit-identical to serial execution — the same
+// guarantee TestShardedMatchesSerialTiny pins for ECMP.
+func TestShardedMatchesSerialFlowletSchemes(t *testing.T) {
+	for _, scheme := range []Scheme{Flowlet, FlowDyn} {
+		spec := allToAllSpec{scheme: scheme, load: 0.6, flows: 150, srcTor: -1}
+		o := Options{Seed: 7, Scale: ScaleTiny}
+		want := flowFingerprint(o.runAllToAll(spec))
+		for _, shards := range []int{2, 4, 8} {
+			os := o
+			os.Shards = shards
+			out, ok := os.tryRunAllToAllSharded(spec)
+			if !ok {
+				t.Fatalf("%v shards=%d: sharded runner refused a shardable point", scheme, shards)
+			}
+			if got := flowFingerprint(out); got != want {
+				t.Errorf("%v shards=%d diverges from serial:\n%s", scheme, shards, firstDiff(want, got))
+			}
+		}
+	}
+}
+
 // Points that cannot shard safely must fall back to serial execution.
 func TestShardedFallbacks(t *testing.T) {
 	o := Options{Seed: 1, Scale: ScaleTiny, Shards: 4}
-	for _, scheme := range []Scheme{FlowBender, RPS, DeTail} {
+	for _, scheme := range []Scheme{FlowBender, RPS, DeTail, RepFlow, DiffFlow} {
 		if _, ok := o.tryRunAllToAllSharded(allToAllSpec{scheme: scheme, load: 0.3, flows: 50, srcTor: -1}); ok {
-			t.Errorf("scheme %v must not shard (shared RNG or PFC)", scheme)
+			t.Errorf("scheme %v must not shard (shared RNG, replica planning, or PFC)", scheme)
 		}
+	}
+	// Differential tests inject custom setups whose semantics the sharded
+	// planner cannot know; those points must always run serial.
+	custom := allToAllSpec{scheme: ECMP, load: 0.3, flows: 50, srcTor: -1,
+		setupFn: func(rng *sim.RNG) schemeSetup {
+			return schemeSetup{cfg: tcp.DefaultConfig(), sel: routing.ECMP{}}
+		}}
+	if _, ok := o.tryRunAllToAllSharded(custom); ok {
+		t.Error("setupFn point must fall back to serial")
 	}
 	// A fabric with zero switch and link delay has no cross-shard slack.
 	zero := topo.TinyScale()

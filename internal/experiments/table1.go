@@ -16,30 +16,41 @@ import (
 )
 
 // Table1Row is one row of the paper's Table 1: mean and max completion time
-// (ms) of k simultaneous equal-size ToR-to-ToR flows, under ECMP and
-// FlowBender. The values are means over the run's replicate seeds; the Std
-// fields carry the across-seed standard deviation of the per-seed means.
+// (ms) of k simultaneous equal-size ToR-to-ToR flows, for every scheme in
+// Table1Result.Schemes. The per-scheme slices are indexed in parallel with
+// Schemes; the values are means over the run's replicate seeds, and
+// MeanStdMs carries the across-seed standard deviation of the per-seed
+// means.
 type Table1Row struct {
-	Flows           int
-	ECMPMeanMs      float64
-	ECMPMaxMs       float64
-	FBMeanMs        float64
-	FBMaxMs         float64
-	ECMPMeanStdMs   float64
-	FBMeanStdMs     float64
-	IdealMs         float64 // k/P * size / rate: perfect balance, instant convergence
-	ECMPMaxOverMean float64
-	FBMaxOverMean   float64
+	Flows       int
+	IdealMs     float64 // k/P * size / rate: perfect balance, instant convergence
+	MeanMs      []float64
+	MaxMs       []float64
+	MeanStdMs   []float64
+	MaxOverMean []float64
 }
 
-// Table1Result reproduces Table 1 (§4.2.1, functionality validation).
+// Table1Result reproduces Table 1 (§4.2.1, functionality validation),
+// extended from the paper's two columns to the full comparison set.
 type Table1Result struct {
 	FlowBytes int64
 	Paths     int
+	Schemes   []Scheme
 	Rows      []Table1Row
 	// Seeds is non-zero when Options.Seeds requested explicit multi-seed
 	// replication; Print then renders mean ± stddev.
 	Seeds int
+}
+
+// Cell returns scheme s's mean and max completion time (ms) in row ri. It
+// panics if s is not in Schemes.
+func (r *Table1Result) Cell(ri int, s Scheme) (meanMs, maxMs float64) {
+	for si, sc := range r.Schemes {
+		if sc == s {
+			return r.Rows[ri].MeanMs[si], r.Rows[ri].MaxMs[si]
+		}
+	}
+	panic(fmt.Sprintf("experiments: scheme %v not in Table1 result", s))
 }
 
 // Table1 runs the validation microbenchmark: k ∈ FlowCounts simultaneous
@@ -71,7 +82,7 @@ func Table1(o Options) *Table1Result {
 		rep    int
 	}
 	reps := o.repeats()
-	schemes := []Scheme{ECMP, FlowBender}
+	schemes := AllSchemes
 	var points []t1Point
 	for _, k := range counts {
 		for _, scheme := range schemes {
@@ -89,9 +100,15 @@ func Table1(o Options) *Table1Result {
 	})
 	idx := func(ki, si, rep int) int { return (ki*len(schemes)+si)*reps + rep }
 
-	res := &Table1Result{FlowBytes: size, Paths: paths, Seeds: o.Seeds}
+	res := &Table1Result{FlowBytes: size, Paths: paths, Schemes: schemes, Seeds: o.Seeds}
 	for ki, k := range counts {
-		row := Table1Row{Flows: k}
+		row := Table1Row{
+			Flows:       k,
+			MeanMs:      make([]float64, len(schemes)),
+			MaxMs:       make([]float64, len(schemes)),
+			MeanStdMs:   make([]float64, len(schemes)),
+			MaxOverMean: make([]float64, len(schemes)),
+		}
 		row.IdealMs = float64(k) / float64(paths) * float64(size) * 8 / float64(p.LinkRateBps) * 1000
 		for si, scheme := range schemes {
 			means := make([]float64, reps)
@@ -102,16 +119,12 @@ func Table1(o Options) *Table1Result {
 				mean += out.meanMs / float64(reps)
 				max += out.maxMs / float64(reps)
 			}
-			std := stats.Summarize(means).Std
-			if scheme == ECMP {
-				row.ECMPMeanMs, row.ECMPMaxMs, row.ECMPMeanStdMs = mean, max, std
-			} else {
-				row.FBMeanMs, row.FBMaxMs, row.FBMeanStdMs = mean, max, std
-			}
+			row.MeanMs[si] = mean
+			row.MaxMs[si] = max
+			row.MeanStdMs[si] = stats.Summarize(means).Std
+			row.MaxOverMean[si] = max / mean
 			o.logf("table1: %s k=%d mean=%.1fms max=%.1fms", scheme, k, mean, max)
 		}
-		row.ECMPMaxOverMean = row.ECMPMaxMs / row.ECMPMeanMs
-		row.FBMaxOverMean = row.FBMaxMs / row.FBMeanMs
 		res.Rows = append(res.Rows, row)
 	}
 	return res
@@ -151,7 +164,8 @@ func (o Options) runValidationSetup(set schemeSetup, k int, size int64) (meanMs,
 	return s.Mean(), s.Max()
 }
 
-// Print writes the table in the paper's layout.
+// Print writes the table in the paper's layout, one line per (k, scheme)
+// pair — the paper's two columns widened to the full comparison set.
 func (r *Table1Result) Print(w io.Writer) {
 	fmt.Fprintf(w, "Table 1: flow completion times, %d MB ToR-to-ToR flows, %d paths\n",
 		r.FlowBytes/1_000_000, r.Paths)
@@ -159,20 +173,19 @@ func (r *Table1Result) Print(w io.Writer) {
 		fmt.Fprintf(w, "(means ± stddev over %d seeds)\n", r.Seeds)
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Flows\tECMP mean (ms)\tECMP max (ms)\tFlowBender mean (ms)\tFlowBender max (ms)\tideal (ms)")
+	fmt.Fprintln(tw, "Flows\tscheme\tmean (ms)\tmax (ms)\tmax/mean\tideal (ms)")
 	for _, row := range r.Rows {
-		if r.Seeds > 1 {
-			fmt.Fprintf(tw, "%d\t%.0f±%.0f\t%.0f\t%.0f±%.0f\t%.0f\t%.0f\n",
-				row.Flows, row.ECMPMeanMs, row.ECMPMeanStdMs, row.ECMPMaxMs,
-				row.FBMeanMs, row.FBMeanStdMs, row.FBMaxMs, row.IdealMs)
-		} else {
-			fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
-				row.Flows, row.ECMPMeanMs, row.ECMPMaxMs, row.FBMeanMs, row.FBMaxMs, row.IdealMs)
+		for si, scheme := range r.Schemes {
+			if r.Seeds > 1 {
+				fmt.Fprintf(tw, "%d\t%s\t%.0f±%.0f\t%.0f\t%.2f\t%.0f\n",
+					row.Flows, scheme, row.MeanMs[si], row.MeanStdMs[si],
+					row.MaxMs[si], row.MaxOverMean[si], row.IdealMs)
+			} else {
+				fmt.Fprintf(tw, "%d\t%s\t%.0f\t%.0f\t%.2f\t%.0f\n",
+					row.Flows, scheme, row.MeanMs[si], row.MaxMs[si],
+					row.MaxOverMean[si], row.IdealMs)
+			}
 		}
 	}
 	tw.Flush()
-	for _, row := range r.Rows {
-		fmt.Fprintf(w, "  k=%d: max/mean ECMP=%.2f FlowBender=%.2f\n",
-			row.Flows, row.ECMPMaxOverMean, row.FBMaxOverMean)
-	}
 }

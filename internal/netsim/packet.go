@@ -99,6 +99,13 @@ type Packet struct {
 	ECE  bool // on ACKs: echo of the acked segment's CE bit
 	Retx bool // segment is a retransmission (excluded from RTT sampling)
 
+	// Spray asks spray-aware selectors (routing.DiffFlow) to pick this
+	// packet's egress per packet instead of per flow. Transports stamp it on
+	// every packet of flows below the configured short-flow cutoff
+	// (tcp.Config.SprayShortCutoff); selectors that don't differentiate
+	// ignore it. Zeroed by pool recycling like every exported field.
+	Spray bool
+
 	SentAt sim.Time // virtual time the transport emitted the packet
 	EchoTS sim.Time // on ACKs: SentAt of the segment being acknowledged, or -1
 

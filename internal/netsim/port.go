@@ -53,6 +53,12 @@ type Port struct {
 	busy   bool
 	paused bool
 
+	// LastTxEnd is the engine time this port last finished serializing a
+	// packet, or -1 before any transmission. Flowlet-style selectors
+	// (routing.FlowDyn) read it to judge how long an egress has been idle —
+	// an idle port has drained whatever queue the estimate saw.
+	LastTxEnd sim.Time
+
 	// tag is the port's intrinsic ordering identity for serialization-
 	// complete events (orderTag of tagKindTx, owning device, port index),
 	// set when the owning switch or host is built. Bare ports default to
@@ -88,7 +94,7 @@ type Port struct {
 
 // NewPort returns a port transmitting at rateBps driven by eng.
 func NewPort(eng *sim.Engine, rateBps int64) *Port {
-	p := &Port{eng: eng, RateBps: rateBps, tag: sim.TagNone}
+	p := &Port{eng: eng, RateBps: rateBps, tag: sim.TagNone, LastTxEnd: -1}
 	p.txDone = p.finishTx
 	p.pauseFn = func() { p.SetPaused(true) }
 	p.resumeFn = func() { p.SetPaused(false) }
@@ -156,6 +162,7 @@ func (p *Port) finishTx() {
 	pkt := p.txPkt
 	p.txPkt = nil
 	p.busy = false
+	p.LastTxEnd = p.eng.Now()
 	p.TxBytes[pkt.Proto] += int64(pkt.Size)
 	p.TxPackets++
 	if p.onSent != nil {

@@ -101,6 +101,12 @@ type Switch struct {
 	selCache []selSlot
 	selGen   uint32
 
+	// selScratch is opaque per-switch storage for stateful selectors (the
+	// flowlet table of routing.Flowlet/FlowDyn). It is owned by whichever
+	// selector is installed and cleared by SetSelector, so a replacement
+	// selector never observes a predecessor's state.
+	selScratch any
+
 	// PFC ingress accounting.
 	ingressBytes []int
 	pausedUp     []bool
@@ -185,6 +191,7 @@ func (s *Switch) ID() NodeID { return s.id }
 func (s *Switch) SetSelector(sel Selector) {
 	s.sel = sel
 	s.selGen++
+	s.selScratch = nil
 	if cs, ok := sel.(CacheableSelector); ok && cs.Cacheable() {
 		if s.selCache == nil {
 			s.selCache = make([]selSlot, selCacheSlots)
@@ -193,6 +200,18 @@ func (s *Switch) SetSelector(sel Selector) {
 		s.selCache = nil
 	}
 }
+
+// Now returns the owning engine's clock. Stateful selectors (flowlet
+// switching) read it from inside Select to measure inter-packet idle gaps.
+func (s *Switch) Now() sim.Time { return s.eng.Now() }
+
+// SelectorScratch returns the opaque per-switch state installed by the
+// current selector (nil until the selector stores something).
+func (s *Switch) SelectorScratch() any { return s.selScratch }
+
+// SetSelectorScratch installs opaque per-switch selector state. It is
+// cleared whenever SetSelector runs.
+func (s *Switch) SetSelectorScratch(v any) { s.selScratch = v }
 
 // SetRoutes installs the forwarding table: routes[dst] lists the eligible
 // egress ports toward host dst. Installing routes invalidates the selector

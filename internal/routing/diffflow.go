@@ -1,0 +1,34 @@
+package routing
+
+import (
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+)
+
+// DiffFlow differentiates short and long flows at the switch, following the
+// DiffFlow idea of sending few-packet flows with packet spraying while
+// long flows stay on per-flow paths: packets stamped Spray (the transport
+// marks every packet of flows below tcp.Config.SprayShortCutoff) pick a
+// uniform random eligible port per packet, exactly like RPS; unmarked
+// packets use the exact per-flow ECMP hash. Short flows thus get RPS's
+// instantaneous balance (their handful of packets rarely reorder), while
+// long flows keep ECMP's in-order delivery.
+//
+// The degenerate configurations collapse to the baselines, and the
+// differential tests pin both: a cutoff of 0 sprays nothing and is
+// bit-identical to ECMP (no RNG draws at all), an unbounded cutoff sprays
+// everything and is bit-identical to RPS when sharing RPS's RNG stream
+// (one draw per Select, used identically).
+type DiffFlow struct {
+	RNG *sim.RNG
+}
+
+// Select implements netsim.Selector. Not cacheable: sprayed packets consume
+// RNG, and whether a packet sprays is per-packet state.
+func (d *DiffFlow) Select(sw *netsim.Switch, pkt *netsim.Packet, eligible []int32) int32 {
+	if pkt.Spray {
+		return eligible[d.RNG.Intn(len(eligible))]
+	}
+	h := flowKeyHash(pkt, switchSalt(sw))
+	return eligible[h%uint64(len(eligible))]
+}

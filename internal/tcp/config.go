@@ -71,7 +71,35 @@ type Config struct {
 	// still in flight from the old path cannot trigger an immediate second
 	// reroute. On by default via DefaultConfig; disable for ablation.
 	FilterStaleFeedback bool
+	// Replicate, when non-nil, enables RepFlow-style short-flow replication:
+	// StartFlow transparently launches qualifying flows as two sub-flows
+	// whose distinct port numbers give them independent ECMP path draws; the
+	// first sub-flow to deliver the full payload wins and the loser is torn
+	// down (see Flow.Replicated).
+	Replicate *ReplicateConfig
+	// SprayShortCutoff, when > 0, stamps Packet.Spray on every packet of
+	// flows with Size < SprayShortCutoff. Spray-aware selectors
+	// (routing.DiffFlow) route marked packets per packet, RPS-style, while
+	// unmarked traffic stays on per-flow ECMP paths.
+	SprayShortCutoff int64
 }
+
+// ReplicateConfig parameterizes RepFlow replication (Xu & Li): short flows
+// are transmitted as ReplicationFactor identical sub-flows on independently
+// hashed paths, and the application takes whichever copy completes first —
+// trading a bounded amount of extra traffic (short flows carry a tiny
+// fraction of datacenter bytes) for an FCT minimum over path draws.
+type ReplicateConfig struct {
+	// Cutoff: flows with Size < Cutoff bytes are replicated. RepFlow's
+	// paper value is 100 KB.
+	Cutoff int64
+}
+
+// ReplicationFactor is the number of copies a replicated flow transmits.
+// RepFlow fixes this at 2: one replica already drives the probability that
+// every copy hashes onto a congested path low enough that more copies buy
+// almost nothing while doubling the overhead again.
+const ReplicationFactor = 2
 
 // DefaultConfig returns the paper's §4.2 transport settings.
 func DefaultConfig() Config {

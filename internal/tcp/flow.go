@@ -22,6 +22,15 @@ type Flow struct {
 
 	sender   *Sender
 	receiver *Receiver
+
+	// rep is non-nil on the parent flow of a RepFlow-replicated pair.
+	rep *repFlow
+}
+
+// repFlow tracks a replicated flow's sub-flows and which one won.
+type repFlow struct {
+	subs   [ReplicationFactor]*Flow
+	winner int // index into subs, -1 until the first sub-flow completes
 }
 
 // FCT returns the receiver-side flow completion time. It panics if the flow
@@ -69,12 +78,115 @@ func (f *Flow) FlowBenderStats() core.Stats {
 // the flow ID to give the ECMP hash its 5-tuple entropy. The eng parameter
 // is retained for API stability; each endpoint runs on its own host's
 // engine, which in serial builds is the same engine.
+//
+// When cfg.Replicate is set and the flow qualifies (Size < Cutoff), the
+// returned Flow is a replicated parent: it owns two live sub-flows on
+// independently hashed paths and completes when the first of them delivers
+// the payload (see Replicated).
 func StartFlow(eng *sim.Engine, cfg Config, id netsim.FlowID, src, dst *netsim.Host, size int64) *Flow {
 	_ = eng
+	if rc := cfg.Replicate; rc != nil && size < rc.Cutoff {
+		return startReplicated(cfg, id, src, dst, size)
+	}
 	pf := PlanFlow(cfg, id, src, dst, size)
 	pf.StartReceiver()
 	pf.StartSender()
 	return pf.Flow()
+}
+
+// replicaIDBit distinguishes a replica sub-flow's ID from its primary's in
+// the hosts' dispatch tables. Bit 62 keeps IDs positive and far above any
+// workload allocator's range; the distinct ID also yields a distinct source
+// port (PlanFlow derives ports from the ID), which is exactly what gives
+// the replica an independent ECMP path draw.
+const replicaIDBit netsim.FlowID = 1 << 62
+
+// ReplicaID returns the flow ID RepFlow's replica sub-flow of id runs under.
+func ReplicaID(id netsim.FlowID) netsim.FlowID { return id | replicaIDBit }
+
+// startReplicated launches a RepFlow pair: two full copies of the payload
+// under distinct flow IDs (hence distinct port draws), racing to the same
+// receiver host. The parent flow holds no endpoints of its own; until a
+// winner is declared it reports the primary sub-flow's, so harness code
+// reading Sender() off incomplete flows keeps working.
+func startReplicated(cfg Config, id netsim.FlowID, src, dst *netsim.Host, size int64) *Flow {
+	parent := &Flow{
+		ID: id, Src: src, Dst: dst, Size: size,
+		Start: -1, RecvDone: -1, SendDone: -1,
+		rep: &repFlow{winner: -1},
+	}
+	sub := cfg
+	sub.Replicate = nil // sub-flows must not recurse
+	pend := [ReplicationFactor]*PendingFlow{
+		PlanFlow(sub, id, src, dst, size),
+		PlanFlow(sub, ReplicaID(id), src, dst, size),
+	}
+	for i, pf := range pend {
+		f := pf.Flow()
+		f.OnComplete = parent.subDone
+		parent.rep.subs[i] = f
+	}
+	// Mirror StartFlow's receiver-before-sender order for each sub-flow, all
+	// receivers first: no sender may emit before every dispatch slot of the
+	// pair is claimed.
+	for _, pf := range pend {
+		pf.StartReceiver()
+	}
+	for _, pf := range pend {
+		pf.StartSender()
+	}
+	parent.Start = parent.rep.subs[0].Start
+	parent.sender = parent.rep.subs[0].sender
+	parent.receiver = parent.rep.subs[0].receiver
+	return parent
+}
+
+// subDone is the OnComplete hook of both sub-flows: the first finisher
+// becomes the winner and defines every parent observable (FCT, reordering,
+// recovery stats — exactly one sub-flow's bytes count as delivered); the
+// loser's sender is aborted and torn down. A loser whose in-flight data
+// later completes its receiver lands here a second time and is ignored.
+func (f *Flow) subDone(sub *Flow) {
+	rep := f.rep
+	if rep.winner >= 0 {
+		return
+	}
+	w := 0
+	for i, s := range rep.subs {
+		if s == sub {
+			w = i
+		}
+	}
+	rep.winner = w
+	f.sender = sub.sender
+	f.receiver = sub.receiver
+	f.RecvDone = sub.RecvDone
+	rep.subs[1-w].sender.Abort()
+	if f.OnComplete != nil {
+		f.OnComplete(f)
+	}
+}
+
+// Replicated reports whether this flow is a RepFlow parent.
+func (f *Flow) Replicated() bool { return f.rep != nil }
+
+// SubFlows returns a replicated parent's sub-flows (nil otherwise). The
+// parent's own SendDone stays -1; per-sub-flow sender state lives on the
+// sub-flows.
+func (f *Flow) SubFlows() []*Flow {
+	if f.rep == nil {
+		return nil
+	}
+	return f.rep.subs[:]
+}
+
+// Winner returns the sub-flow that delivered the payload first, or nil
+// while the race is still open (or for unreplicated flows).
+func (f *Flow) Winner() *Flow {
+	if f.rep == nil || f.rep.winner < 0 {
+		return nil
+	}
+	return f.rep.subs[f.rep.winner]
 }
 
 // PendingFlow is a planned but not yet started flow. It decouples flow

@@ -27,6 +27,9 @@ type Receiver struct {
 	// hashPrefix is the flow-constant selector hash state of the reverse
 	// (ACK) direction, stamped into every packet the receiver emits.
 	hashPrefix uint64
+	// spray mirrors the sender's short-flow marking onto the reverse
+	// direction so ACKs of sprayed flows are sprayed too.
+	spray bool
 
 	rcvNxt     int64
 	maxSeqSeen int64
@@ -60,6 +63,7 @@ func newReceiver(eng *sim.Engine, cfg Config, flow *Flow, srcPort, dstPort uint1
 	}
 	r.delackFn = r.onDelackTimer
 	r.hashPrefix = routing.FlowHashPrefix(flow.Dst.ID(), flow.Src.ID(), srcPort, dstPort, netsim.ProtoTCP)
+	r.spray = cfg.SprayShortCutoff > 0 && flow.Size < cfg.SprayShortCutoff
 	return r
 }
 
@@ -85,6 +89,7 @@ func (r *Receiver) Deliver(pkt *netsim.Packet) {
 		sa.HashPrefix = r.hashPrefix
 		sa.HashPrefixOK = true
 		sa.PathTag = pkt.PathTag
+		sa.Spray = r.spray
 		sa.Size = netsim.HeaderBytes
 		sa.ECT = true
 		sa.SentAt = r.eng.Now()
@@ -200,6 +205,7 @@ func (r *Receiver) flushAck(dsack bool, reorderDist int64) {
 	ack.DSACK = dsack
 	ack.ReorderDist = reorderDist
 	ack.PathTag = r.lastTag
+	ack.Spray = r.spray
 	r.pending = 0
 	r.pendingEcho = -1
 	if r.ackTimer != nil {

@@ -70,6 +70,13 @@ type Sender struct {
 	// Handshake state (only used when cfg.Handshake is set).
 	established bool
 
+	// spray marks every emitted packet for per-packet selection (short
+	// flows under Config.SprayShortCutoff; see routing.DiffFlow).
+	spray bool
+	// aborted permanently silences the sender (the losing sub-flow of a
+	// replicated pair); see Abort.
+	aborted bool
+
 	// Counters.
 	Retransmits  int64
 	FastRetx     int64
@@ -121,6 +128,7 @@ func newSender(eng *sim.Engine, cfg Config, flow *Flow, srcPort, dstPort uint16)
 		s.fb = core.New(*cfg.FlowBender)
 	}
 	s.hashPrefix = routing.FlowHashPrefix(flow.Src.ID(), flow.Dst.ID(), srcPort, dstPort, netsim.ProtoTCP)
+	s.spray = cfg.SprayShortCutoff > 0 && flow.Size < cfg.SprayShortCutoff
 	s.cwnd = float64(int64(cfg.InitCwnd) * s.mss)
 	s.ssthresh = 1 << 40 // effectively unbounded until first loss signal
 	s.rto = cfg.RTOMin
@@ -161,6 +169,7 @@ func (s *Sender) sendSyn() {
 	syn.HashPrefix = s.hashPrefix
 	syn.HashPrefixOK = true
 	syn.PathTag = s.PathTag()
+	syn.Spray = s.spray
 	syn.Size = netsim.HeaderBytes
 	syn.ECT = true
 	syn.SentAt = s.eng.Now()
@@ -177,7 +186,7 @@ func (s *Sender) sendSyn() {
 // onSynTimeout retransmits a lost SYN with exponential backoff.
 func (s *Sender) onSynTimeout() {
 	s.timer = nil
-	if s.established {
+	if s.established || s.aborted {
 		return
 	}
 	s.SynRetries++
@@ -209,7 +218,7 @@ func (s *Sender) PathTag() uint32 {
 // trySend emits new segments while the window allows. When re-walking
 // previously sent data (after an RTO), SACKed ranges are skipped.
 func (s *Sender) trySend() {
-	if !s.established {
+	if !s.established || s.aborted {
 		return
 	}
 	if max := float64(s.cfg.MaxCwnd); s.cwnd > max {
@@ -247,6 +256,7 @@ func (s *Sender) emit(seq int64, payload int, retx bool) {
 	pkt.HashPrefix = s.hashPrefix
 	pkt.HashPrefixOK = true
 	pkt.PathTag = s.PathTag()
+	pkt.Spray = s.spray
 	pkt.Seq = seq
 	pkt.Payload = payload
 	pkt.Size = payload + netsim.HeaderBytes
@@ -262,6 +272,9 @@ func (s *Sender) emit(seq int64, payload int, retx bool) {
 
 // Deliver implements netsim.Handler for the sending host (ACK arrival).
 func (s *Sender) Deliver(pkt *netsim.Packet) {
+	if s.aborted {
+		return
+	}
 	if pkt.Kind == netsim.KindSynAck {
 		if !s.established {
 			s.established = true
@@ -366,6 +379,24 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 func (s *Sender) scheduleTeardown() {
 	s.eng.Schedule(2*s.cfg.RTOMax, s.teardown)
 }
+
+// Abort permanently silences the sender: RepFlow tears the losing sub-flow
+// down with it once its sibling has delivered the payload. The RTO timer is
+// canceled, no further segments are emitted, arriving strays are ignored,
+// and the handler slots are released through the same 2x RTOMax quiet
+// period completed flows use — in-flight traffic of the dead sub-flow has a
+// lifetime bounded by one path traversal, far below that. Idempotent.
+func (s *Sender) Abort() {
+	if s.aborted {
+		return
+	}
+	s.aborted = true
+	s.cancelTimer()
+	s.scheduleTeardown()
+}
+
+// Aborted reports whether Abort has silenced this sender.
+func (s *Sender) Aborted() bool { return s.aborted }
 
 func (s *Sender) teardown() {
 	s.flow.Src.Unregister(s.flow.ID)
@@ -598,7 +629,7 @@ func (s *Sender) cancelTimer() {
 
 func (s *Sender) onTimeout() {
 	s.timer = nil
-	if s.sndUna >= s.flow.Size {
+	if s.sndUna >= s.flow.Size || s.aborted {
 		return
 	}
 	s.Timeouts++

@@ -35,8 +35,15 @@ import (
 	"time"
 
 	"flowbender/internal/benchkit"
+	"flowbender/internal/checkpoint"
 	"flowbender/internal/experiments"
+	"flowbender/internal/sim"
 )
+
+// ckptSettle is how long the signal handler waits after requesting a flush
+// before saving and exiting: long enough for running points to reach their
+// next quiescent barrier and mark, short enough that ^C still feels prompt.
+const ckptSettle = 1500 * time.Millisecond
 
 func main() {
 	var (
@@ -47,6 +54,10 @@ func main() {
 		seeds    = flag.Int("seeds", 0, "replicate each point over this many seeds and report mean ± stddev")
 		watchdog = flag.Duration("watchdog", 0, "wall-clock limit per simulation point; exceeding points report FAILED instead of hanging the run (0 = off)")
 		verb     = flag.Bool("v", false, "log per-run progress to stderr")
+
+		ckptPath  = flag.String("checkpoint", "", "make the run crash-safe: journal completed experiments and record progress watermarks to this file (refuses an existing file; SIGINT/SIGTERM checkpoint and exit 130)")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "virtual-time cadence between checkpoint watermarks (simulated time, not wall clock; 0 = 500ms; must match across -resume)")
+		resumeP   = flag.String("resume", "", "resume an interrupted run from this checkpoint file: completed experiments are served from its journal, in-flight points replay and verify their recorded watermarks")
 
 		jsonMode = flag.Bool("json", false, "write a BENCH_<timestamp>.json benchmark snapshot instead of printing tables")
 		compare  = flag.Bool("compare", false, "compare the two newest BENCH_*.json snapshots and exit 1 on regression")
@@ -70,6 +81,10 @@ func main() {
 		os.Exit(code)
 	}
 
+	if (*ckptPath != "" || *resumeP != "") && (*jsonMode || *compare) {
+		fmt.Fprintln(os.Stderr, "fbbench: -checkpoint/-resume apply to the evaluation run, not -json/-compare modes")
+		exit(2)
+	}
 	switch {
 	case *compare:
 		exit(runCompare(*outDir, *baseline, *tol))
@@ -88,10 +103,34 @@ func main() {
 		o.Log = os.Stderr
 	}
 
+	mgr, err := checkpoint.FromFlags(*ckptPath, *resumeP, checkpoint.Descriptor{
+		Tool:            "fbbench",
+		Seed:            *seed,
+		Scale:           *scale,
+		Shards:          *shards,
+		Seeds:           *seeds,
+		CheckpointEvery: int64(*ckptEvery),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbbench:", err)
+		exit(2)
+	}
+	if mgr != nil {
+		o.Ckpt = mgr
+		o.CheckpointEvery = sim.Time(*ckptEvery)
+		stop := checkpoint.HandleSignals(mgr, os.Stderr, ckptSettle)
+		defer stop()
+	}
+
 	start := time.Now()
 	fmt.Printf("FlowBender reproduction — full evaluation (scale=%s seed=%d)\n\n", *scale, *seed)
 	experiments.RunAll(o, os.Stdout)
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Second))
+	if mgr != nil {
+		if err := mgr.SaveErr(); err != nil {
+			fmt.Fprintln(os.Stderr, "fbbench: checkpoint:", err)
+		}
+	}
 	exit(0)
 }
 

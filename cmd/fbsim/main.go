@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -19,9 +20,16 @@ import (
 	"strings"
 	"time"
 
+	"flowbender/internal/checkpoint"
 	"flowbender/internal/experiments"
+	"flowbender/internal/sim"
 	"flowbender/internal/workload"
 )
+
+// ckptSettle is how long the signal handler waits after requesting a flush
+// before saving and exiting: long enough for running points to reach their
+// next quiescent barrier and mark, short enough that ^C still feels prompt.
+const ckptSettle = 1500 * time.Millisecond
 
 func main() {
 	var (
@@ -41,6 +49,10 @@ func main() {
 		watchdog = flag.Duration("watchdog", 0, "wall-clock limit per simulation point; exceeding points report FAILED instead of hanging the run (0 = off)")
 		verb     = flag.Bool("v", false, "log per-run progress (and simulator throughput) to stderr")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of a table")
+
+		ckptPath  = flag.String("checkpoint", "", "make the run crash-safe: record progress watermarks and the completed result to this file (refuses an existing file; SIGINT/SIGTERM checkpoint and exit 130)")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "virtual-time cadence between checkpoint watermarks (simulated time, not wall clock; 0 = 500ms; must match across -resume)")
+		resumeP   = flag.String("resume", "", "resume an interrupted run from this checkpoint file: completed work is served from its journal, in-flight points replay and verify their recorded watermarks")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -155,6 +167,46 @@ func main() {
 	if *verb {
 		o.Log = os.Stderr
 	}
+
+	if (*ckptPath != "" || *resumeP != "") && *asJSON {
+		// The journal records rendered tables; serving them as JSON would
+		// silently change the output format, so the modes don't combine.
+		fmt.Fprintln(os.Stderr, "fbsim: -checkpoint/-resume and -json are mutually exclusive")
+		exit(2)
+	}
+	desc := checkpoint.Descriptor{
+		Tool:            "fbsim:" + *exp,
+		Seed:            *seed,
+		Scale:           *scale,
+		FlowCount:       *flows,
+		JobCount:        *jobs,
+		Shards:          *shards,
+		Seeds:           *seeds,
+		CheckpointEvery: int64(*ckptEvery),
+	}
+	if *faultSel != "" || *cdfPath != "" {
+		desc.Extra = fmt.Sprintf("faults=%s cdf=%s", *faultSel, *cdfPath)
+	}
+	mgr, err := checkpoint.FromFlags(*ckptPath, *resumeP, desc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbsim:", err)
+		exit(2)
+	}
+	if mgr != nil {
+		o.Ckpt = mgr
+		o.CheckpointEvery = sim.Time(*ckptEvery)
+		stop := checkpoint.HandleSignals(mgr, os.Stderr, ckptSettle)
+		defer stop()
+
+		// Journal hit: the resumed file already holds this experiment's
+		// completed output — serve it without simulating anything.
+		if ent, ok := mgr.Done(*exp); ok {
+			fmt.Fprintf(os.Stderr, "fbsim: %s served from checkpoint journal (%s)\n", *exp, mgr.Path())
+			fmt.Print(ent.Output)
+			exit(0)
+		}
+	}
+
 	var perf experiments.PerfStats
 	o.Perf = &perf
 	start := time.Now()
@@ -174,6 +226,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fbsim: json:", err)
 			exit(1)
 		}
+		exit(0)
+	}
+	if mgr != nil {
+		// Render to a buffer so the journal records exactly the bytes the
+		// user saw; a rerun with -resume then serves them verbatim.
+		var buf bytes.Buffer
+		res.Print(&buf)
+		mgr.RecordDone(*exp, buf.String())
+		if err := mgr.SaveErr(); err != nil {
+			fmt.Fprintln(os.Stderr, "fbsim: checkpoint:", err)
+		}
+		os.Stdout.WriteString(buf.String())
 		exit(0)
 	}
 	res.Print(os.Stdout)

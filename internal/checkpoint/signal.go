@@ -1,0 +1,50 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// ExitCodeInterrupted is the process exit status after a graceful
+// checkpoint-and-exit (128 + SIGINT, the shell convention).
+const ExitCodeInterrupted = 130
+
+// HandleSignals arms graceful shutdown for a checkpointed run. The first
+// SIGINT/SIGTERM requests an immediate watermark from every running point,
+// waits `settle` wall-clock for those marks to land, saves the file, prints
+// a resume hint, and exits with status 130; a second signal during the
+// settle window hard-exits immediately. It returns a stop function that
+// disarms the handler (call it once the run has completed normally, so a
+// late ^C behaves like a plain interrupt again).
+func HandleSignals(m *Manager, w io.Writer, settle time.Duration) (stop func()) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		fmt.Fprintf(w, "\n%v: checkpointing to %s (send again to exit immediately) ...\n", sig, m.Path())
+		m.RequestFlush()
+		go func() {
+			if _, ok := <-ch; ok {
+				os.Exit(ExitCodeInterrupted)
+			}
+		}()
+		time.Sleep(settle)
+		if err := m.Save(); err != nil {
+			fmt.Fprintf(w, "checkpoint save failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "checkpoint saved; resume with -resume %s\n", m.Path())
+		os.Exit(ExitCodeInterrupted)
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(ch)
+	}
+}

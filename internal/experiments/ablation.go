@@ -74,28 +74,33 @@ func Ablations(o Options) *AblationResult {
 
 	pool := o.pool()
 	type valOut struct{ mean, max float64 }
-	a2aFuts := make([]*runpool.Future[*runOutcome], len(res.Variants))
-	valFuts := make([]*runpool.Future[valOut], len(res.Variants))
-	for i, v := range res.Variants {
-		cfg := v.Cfg
-		a2aFuts[i] = runpool.Submit(pool, func() *runOutcome {
-			return o.runFlowBenderAllToAllRaw(cfg, res.Load)
-		})
-		valFuts[i] = runpool.Submit(pool, func() valOut {
-			rng := sim.NewRNG(o.Seed)
-			fb := cfg
-			if fb.RNG == nil {
-				fb.RNG = rng.Fork("flowbender")
-			}
-			set := FlowBender.setupRaw(rng.Fork("scheme"), fb, true)
-			mean, max := o.runValidationSetup(set, res.ValFlows, size)
-			return valOut{mean: mean, max: max}
-		})
+	a2aName := func(v AblationVariant) string {
+		return o.pointLabel("ablations/a2a/%s/seed=%d", v.Name, o.Seed)
 	}
+	a2aOuts := runpool.MapNamed(pool, res.Variants, a2aName, func(v AblationVariant) *runOutcome {
+		oo := o
+		oo.pointKey = a2aName(v)
+		return oo.runFlowBenderAllToAllRaw(v.Cfg, res.Load)
+	})
+	valName := func(v AblationVariant) string {
+		return o.pointLabel("ablations/val/%s/seed=%d", v.Name, o.Seed)
+	}
+	valOuts := runpool.MapNamed(pool, res.Variants, valName, func(v AblationVariant) valOut {
+		oo := o
+		oo.pointKey = valName(v)
+		rng := sim.NewRNG(o.Seed)
+		fb := v.Cfg
+		if fb.RNG == nil {
+			fb.RNG = rng.Fork("flowbender")
+		}
+		set := FlowBender.setupRaw(rng.Fork("scheme"), fb, true)
+		mean, max := oo.runValidationSetup(set, res.ValFlows, size)
+		return valOut{mean: mean, max: max}
+	})
 
 	var baseMean, baseP99 float64
 	for i, v := range res.Variants {
-		out := a2aFuts[i].Wait()
+		out := a2aOuts[i]
 		mean := out.FCT.All().Mean()
 		p99 := out.FCT.All().Percentile(99)
 		if i == 0 {
@@ -108,7 +113,7 @@ func Ablations(o Options) *AblationResult {
 		o.logf("ablation: %-24s mean=%.3gms reroutes=%d", v.Name, mean*1000, out.Reroutes)
 	}
 	for i, v := range res.Variants {
-		val := valFuts[i].Wait()
+		val := valOuts[i]
 		res.ValMeanMs = append(res.ValMeanMs, val.mean)
 		res.ValMaxMs = append(res.ValMaxMs, val.max)
 		o.logf("ablation-validation: %-24s mean=%.1fms max=%.1fms", v.Name, val.mean, val.max)

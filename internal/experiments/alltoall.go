@@ -86,10 +86,14 @@ func AllToAll(o Options) *AllToAllResult {
 		}
 	}
 	pl := o.pool()
-	outs := runpool.Map(pl, points, func(pt a2aPoint) *runOutcome {
+	name := func(pt a2aPoint) string {
+		return o.pointLabel("alltoall/load=%g/%s/seed=%d", pt.load, pt.scheme, o.seedAt(pt.rep))
+	}
+	outs := runpool.MapNamed(pl, points, name, func(pt a2aPoint) *runOutcome {
 		oo := o
 		oo.Seed = o.seedAt(pt.rep)
 		oo.execPool = pl
+		oo.pointKey = name(pt)
 		return oo.runAllToAll(allToAllSpec{scheme: pt.scheme, load: pt.load, flows: o.flowCount(), srcTor: -1})
 	})
 	idx := func(li, si, rep int) int { return (li*len(res.Schemes)+si)*reps + rep }

@@ -115,7 +115,7 @@ func singlePathFCT(t *testing.T, replicate bool) *tcp.Flow {
 	src := ls.Hosts[ls.TorHosts(0)[0]]
 	dst := ls.Hosts[ls.TorHosts(1)[0]]
 	f := tcp.StartFlow(eng, cfg, 1, src, dst, 20_000)
-	drain(eng, sim.Second, func() bool { return f.Done() })
+	Options{}.drain(eng, sim.Second, func() bool { return f.Done() })
 	if !f.Done() {
 		t.Fatalf("flow (replicate=%v) incomplete", replicate)
 	}

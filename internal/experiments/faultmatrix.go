@@ -138,8 +138,13 @@ func FaultMatrix(o Options) *FaultMatrixResult {
 			points = append(points, faultPoint{scenario: sc, scheme: scheme})
 		}
 	}
-	outs := runpool.MapResults(o.pool(), points, func(pt faultPoint) FaultCell {
-		return res.runOne(o, pt)
+	name := func(pt faultPoint) string {
+		return o.pointLabel("faults/%s/%s/seed=%d", pt.scenario.name, pt.scheme, o.Seed)
+	}
+	outs := runpool.MapResultsNamed(o.pool(), points, name, func(pt faultPoint) FaultCell {
+		oo := o
+		oo.pointKey = name(pt)
+		return res.runOne(oo, pt)
 	})
 	for i, pt := range points {
 		cell := outs[i].Val
@@ -212,7 +217,7 @@ func (r *FaultMatrixResult) runOne(o Options, pt faultPoint) FaultCell {
 			ft.Hosts[i], ft.Hosts[perPod+i], r.FlowBytes))
 	}
 
-	drain(eng, r.Deadline, allFlowsDone(flows))
+	o.drain(eng, r.Deadline, allFlowsDone(flows))
 	o.recordPerf(eng)
 
 	cell := FaultCell{Total: len(flows)}

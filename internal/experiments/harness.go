@@ -61,15 +61,20 @@ func (r *runOutcome) OOOFraction() float64 {
 	return float64(r.OutOfOrder) / float64(r.DataPackets)
 }
 
-// drain advances the engine in chunks until done() or the deadline.
-func drain(eng *sim.Engine, deadline sim.Time, done func() bool) {
+// drain advances the engine in chunks until done() or the deadline,
+// servicing the point's checkpoint obligations at every chunk boundary:
+// the engine is quiescent there (Run leaves now == the boundary), making
+// it a safe — and deterministically reproducible — watermark instant.
+func (o Options) drain(eng *sim.Engine, deadline sim.Time, done func() bool) {
 	const chunk = 5 * sim.Millisecond
+	ck := o.ckptTracker()
 	for eng.Now() < deadline && !done() {
 		next := eng.Now() + chunk
 		if next > deadline {
 			next = deadline
 		}
 		eng.Run(next)
+		ck.tick(eng.Now(), eng)
 		if eng.Pending() == 0 {
 			return
 		}
@@ -161,7 +166,7 @@ func (o Options) runAllToAll(spec allToAllSpec) *runOutcome {
 		gen.SrcHosts = hostsOf(ft, 0, spec.srcTor)
 	}
 	gen.Run()
-	drain(eng, o.maxWait(), allFlowsDone2(gen))
+	o.drain(eng, o.maxWait(), allFlowsDone2(gen))
 	o.recordPerf(eng)
 
 	out := &runOutcome{Flows: gen.Flows, SimTime: eng.Now()}

@@ -50,8 +50,13 @@ func Hotspot(o Options) *HotspotResult {
 		UDPDelivered: make(map[Scheme]float64),
 	}
 	schemes := []Scheme{ECMP, FlowBender}
-	outs := runpool.Map(o.pool(), schemes, func(s Scheme) hotspotOut {
-		return o.runHotspot(s)
+	name := func(s Scheme) string {
+		return o.pointLabel("hotspot/%s/seed=%d", s, o.Seed)
+	}
+	outs := runpool.MapNamed(o.pool(), schemes, name, func(s Scheme) hotspotOut {
+		oo := o
+		oo.pointKey = name(s)
+		return oo.runHotspot(s)
 	})
 	for i, scheme := range schemes {
 		out := outs[i]

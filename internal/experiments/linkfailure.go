@@ -62,8 +62,13 @@ func LinkFailure(o Options) *LinkFailureResult {
 		MeanUnaffectedFCTms: make(map[Scheme]float64),
 	}
 	schemes := []Scheme{ECMP, FlowBender}
-	outs := runpool.Map(o.pool(), schemes, func(s Scheme) linkFailureOut {
-		return res.runOne(o, s)
+	name := func(s Scheme) string {
+		return o.pointLabel("linkfailure/%s/seed=%d", s, o.Seed)
+	}
+	outs := runpool.MapNamed(o.pool(), schemes, name, func(s Scheme) linkFailureOut {
+		oo := o
+		oo.pointKey = name(s)
+		return res.runOne(oo, s)
 	})
 	for i, scheme := range schemes {
 		out := outs[i]
@@ -106,7 +111,7 @@ func (r *LinkFailureResult) runOne(o Options, scheme Scheme) linkFailureOut {
 	// Cut the first aggregation switch's first core uplink in pod 0.
 	eng.At(r.FailAt, func() { ft.AggCoreLinks[0][0][0].Fail() })
 
-	drain(eng, r.Deadline, allFlowsDone(flows))
+	o.drain(eng, r.Deadline, allFlowsDone(flows))
 	o.recordPerf(eng)
 
 	var affected, unaffected stats.Sample

@@ -4,6 +4,7 @@ import (
 	"io"
 	"time"
 
+	"flowbender/internal/checkpoint"
 	"flowbender/internal/runpool"
 	"flowbender/internal/sim"
 	"flowbender/internal/topo"
@@ -103,6 +104,27 @@ type Options struct {
 	// run. Off by default — whether a borderline point trips it depends on
 	// machine speed, so leave it off when byte-identical output matters.
 	Watchdog time.Duration
+
+	// Ckpt, when non-nil, makes the run crash-safe: completed experiments
+	// are journaled (a resumed RunAll serves them from the file instead of
+	// re-simulating), in-flight points record engine watermarks at
+	// quiescent barriers, and a resumed point verifies the recorded
+	// watermark as its deterministic replay passes it. nil (the default)
+	// changes nothing: every simulation path is byte-identical with and
+	// without a manager attached.
+	Ckpt *checkpoint.Manager
+
+	// CheckpointEvery is the virtual-time cadence between watermarks when
+	// Ckpt is set (0 = 500 ms). It is part of the checkpoint descriptor:
+	// resume must use the same cadence so the replay passes the same mark
+	// instants.
+	CheckpointEvery sim.Time
+
+	// pointKey labels the simulation point this Options copy is executing
+	// (e.g. "alltoall/load=0.4/FlowBender/seed=7/shards=1"). Set by the
+	// fan-out call sites; it keys the point's checkpoint watermarks and is
+	// the same label runpool attaches to failures.
+	pointKey string
 
 	// sharedPool, when non-nil, is used instead of a fresh pool so that
 	// RunAll can bound concurrency across experiments with one limit.

@@ -67,9 +67,13 @@ func PartitionAggregate(o Options) *PartAggResult {
 			}
 		}
 	}
-	outs := runpool.Map(o.pool(), points, func(pt point) float64 {
+	name := func(pt point) string {
+		return o.pointLabel("partagg/fanin=%d/%s/seed=%d", pt.fanIn, pt.scheme, o.seedAt(pt.rep))
+	}
+	outs := runpool.MapNamed(o.pool(), points, name, func(pt point) float64 {
 		oo := o
 		oo.Seed = o.seedAt(pt.rep)
+		oo.pointKey = name(pt)
 		return oo.runPartAgg(pt.scheme, pt.fanIn, res.Load, res.JobBytes)
 	})
 	idx := func(fi, si, rep int) int { return (fi*len(res.Schemes)+si)*reps + rep }
@@ -123,7 +127,7 @@ func (o Options) runPartAgg(scheme Scheme, fanIn int, load float64, jobBytes int
 		MaxJobs: o.jobCount(),
 	}
 	gen.Run()
-	drain(eng, o.maxWait(), func() bool {
+	o.drain(eng, o.maxWait(), func() bool {
 		if len(gen.Jobs) < gen.MaxJobs {
 			return false
 		}

@@ -97,17 +97,40 @@ func runExperiments(o Options, w io.Writer, reg []RegistryEntry) {
 	bufs := make([]bytes.Buffer, len(reg))
 	var wg sync.WaitGroup
 	for i, e := range reg {
+		// Journal hit: a resumed run serves a completed experiment's
+		// recorded output (content-hash verified) instead of re-simulating.
+		if o.Ckpt != nil {
+			if ent, ok := o.Ckpt.Done(e.Name); ok {
+				bufs[i].WriteString(ent.Output)
+				o.logf("%s: served from checkpoint journal (%s)", e.Name, o.Ckpt.Path())
+				continue
+			}
+		}
 		wg.Add(1)
-		go func(i int, run func(Options) Printable) {
+		go func(i int, name string, run func(Options) Printable) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
+					// Named pool errors (PanicError/WatchdogError) render
+					// with their point label, so the FAILED line identifies
+					// the experiment, scheme, seed, and shard that died.
 					bufs[i].Reset()
 					fmt.Fprintf(&bufs[i], "FAILED: %v\n", r)
+					if pe, ok := r.(*runpool.PanicError); ok {
+						o.logf("%s FAILED: %v\n%s", name, pe, pe.Stack)
+					}
+					if we, ok := r.(*runpool.WatchdogError); ok && o.Ckpt != nil && we.Point != "" {
+						// Preserve the wedged point's last barrier state for
+						// post-mortem inspection of the checkpoint file.
+						o.Ckpt.FlagWedged(we.Point)
+					}
 				}
 			}()
 			run(o).Print(&bufs[i])
-		}(i, e.Run)
+			if o.Ckpt != nil {
+				o.Ckpt.RecordDone(name, bufs[i].String())
+			}
+		}(i, e.Name, e.Run)
 	}
 	wg.Wait()
 	for i, e := range reg {

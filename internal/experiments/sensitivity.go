@@ -59,9 +59,13 @@ func (r *SensitivityResult) run(o Options, cfgOf func(v float64) core.Config) {
 			points = append(points, point{vi: vi, rep: rep})
 		}
 	}
-	outs := runpool.Map(o.pool(), points, func(pt point) float64 {
+	name := func(pt point) string {
+		return o.pointLabel("sensitivity/%s=%g/FlowBender/seed=%d", r.Param, r.Values[pt.vi], o.seedAt(pt.rep))
+	}
+	outs := runpool.MapNamed(o.pool(), points, name, func(pt point) float64 {
 		oo := o
 		oo.Seed = o.seedAt(pt.rep)
+		oo.pointKey = name(pt)
 		return oo.runFlowBenderAllToAll(cfgOf(r.Values[pt.vi]), r.Load).FCT.All().Mean()
 	})
 

@@ -174,6 +174,13 @@ func (o Options) tryRunAllToAllSharded(spec allToAllSpec) (*runOutcome, bool) {
 		}
 		return true
 	}
+	if ck := o.ckptTracker(); ck != nil {
+		// Chunk boundaries are the sharded run's quiescent barriers: worker
+		// zero observes every shard idle exactly at the boundary instant, the
+		// same grid a resumed run will pass through (the descriptor pins the
+		// shard count, so the window — and with it the grid — reproduces).
+		ss.Tick = func(boundary sim.Time) { ck.tick(boundary, engines...) }
+	}
 	ss.Run(o.maxWait(), 5*sim.Millisecond, done, workers)
 	o.recordPerfShards(engines)
 

@@ -92,9 +92,13 @@ func Table1(o Options) *Table1Result {
 		}
 	}
 	type t1Out struct{ meanMs, maxMs float64 }
-	outs := runpool.Map(o.pool(), points, func(pt t1Point) t1Out {
+	name := func(pt t1Point) string {
+		return o.pointLabel("table1/k=%d/%s/seed=%d", pt.k, pt.scheme, o.seedAt(pt.rep))
+	}
+	outs := runpool.MapNamed(o.pool(), points, name, func(pt t1Point) t1Out {
 		oo := o
 		oo.Seed = o.seedAt(pt.rep)
+		oo.pointKey = name(pt)
 		m, x := oo.runValidation(pt.scheme, pt.k, size)
 		return t1Out{meanMs: m, maxMs: x}
 	})
@@ -152,7 +156,7 @@ func (o Options) runValidationSetup(set schemeSetup, k int, size int64) (meanMs,
 		},
 		hostsOf(ft, 0, 0), hostsOf(ft, 1, 0), k, size)
 
-	drain(eng, 60*sim.Second, allFlowsDone(flows))
+	o.drain(eng, 60*sim.Second, allFlowsDone(flows))
 	o.recordPerf(eng)
 
 	var s stats.Sample

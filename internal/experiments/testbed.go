@@ -59,8 +59,13 @@ func Testbed(o Options) *TestbedResult {
 			points = append(points, point{load: load, scheme: scheme})
 		}
 	}
-	outs := runpool.Map(o.pool(), points, func(pt point) [3]float64 {
-		s := o.runTestbed(lp, pt.scheme, pt.load, flows, res.FlowBytes)
+	name := func(pt point) string {
+		return o.pointLabel("testbed/load=%g/%s/seed=%d", pt.load, pt.scheme, o.Seed)
+	}
+	outs := runpool.MapNamed(o.pool(), points, name, func(pt point) [3]float64 {
+		oo := o
+		oo.pointKey = name(pt)
+		s := oo.runTestbed(lp, pt.scheme, pt.load, flows, res.FlowBytes)
 		return [3]float64{s.Mean(), s.Percentile(99), s.Percentile(99.9)}
 	})
 	for li, load := range res.Loads {
@@ -111,7 +116,7 @@ func (o Options) runTestbed(lp topo.LeafSpineParams, scheme Scheme, load float64
 		MaxFlows:         flows,
 	}
 	gen.Run()
-	drain(eng, o.maxWait(), allFlowsDone2(gen))
+	o.drain(eng, o.maxWait(), allFlowsDone2(gen))
 	o.recordPerf(eng)
 
 	var s stats.Sample

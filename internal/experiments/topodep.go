@@ -59,10 +59,14 @@ func TopoDependence(o Options) *TopoDepResult {
 		points = append(points, point{ci, ECMP}, point{ci, FlowBender})
 	}
 	pl := o.pool()
-	outs := runpool.Map(pl, points, func(pt point) float64 {
+	name := func(pt point) string {
+		return o.pointLabel("topodep/fabric=%d/%s/seed=%d", pt.ci, pt.scheme, o.Seed)
+	}
+	outs := runpool.MapNamed(pl, points, name, func(pt point) float64 {
 		opt := o
 		opt.Scale = configs[pt.ci].scale
 		opt.execPool = pl
+		opt.pointKey = name(pt)
 		return opt.runAllToAllOn(configs[pt.ci].p, pt.scheme, res.Load)
 	})
 	for ci, c := range configs {

@@ -44,8 +44,13 @@ func UDPSpray(o Options) *UDPSprayResult {
 	}
 	res := &UDPSprayResult{Paths: topo.SmallTestbed().Spines}
 	// Each variant is an independent simulation point.
-	outs := runpool.Map(o.pool(), variants, func(v variant) [2]float64 {
-		maxShare, ooo := o.runUDPSpray(v.burst)
+	name := func(v variant) string {
+		return o.pointLabel("udpspray/%s/seed=%d", v.name, o.Seed)
+	}
+	outs := runpool.MapNamed(o.pool(), variants, name, func(v variant) [2]float64 {
+		oo := o
+		oo.pointKey = name(v)
+		maxShare, ooo := oo.runUDPSpray(v.burst)
 		return [2]float64{maxShare, ooo}
 	})
 	for i, v := range variants {

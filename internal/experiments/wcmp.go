@@ -54,8 +54,13 @@ func WCMP(o Options) *WCMPResult {
 		},
 	}
 	// Each variant is an independent simulation point.
-	outs := runpool.Map(o.pool(), res.Variants, func(v WCMPVariant) [3]float64 {
-		mean, p99, share := o.runWCMP(v)
+	name := func(v WCMPVariant) string {
+		return o.pointLabel("wcmp/%s/seed=%d", v.Name, o.Seed)
+	}
+	outs := runpool.MapNamed(o.pool(), res.Variants, name, func(v WCMPVariant) [3]float64 {
+		oo := o
+		oo.pointKey = name(v)
+		mean, p99, share := oo.runWCMP(v)
 		return [3]float64{mean, p99, share}
 	})
 	for i, v := range res.Variants {
@@ -123,7 +128,7 @@ func (o Options) runWCMP(v WCMPVariant) (mean, p99, thinShare float64) {
 		MaxFlows:         o.flowCount() / 2,
 	}
 	gen.Run()
-	drain(eng, o.maxWait(), allFlowsDone2(gen))
+	o.drain(eng, o.maxWait(), allFlowsDone2(gen))
 	o.recordPerf(eng)
 
 	var s stats.Sample

@@ -30,9 +30,18 @@ type PanicError struct {
 	Value any
 	// Stack is the panicking goroutine's stack trace.
 	Stack []byte
+	// Point identifies the task when it was submitted through a named API
+	// (experiment/scheme/seed/shard), so a FAILED line alone is enough to
+	// reproduce the crashing simulation point.
+	Point string
 }
 
-func (e *PanicError) Error() string { return fmt.Sprintf("task panicked: %v", e.Value) }
+func (e *PanicError) Error() string {
+	if e.Point != "" {
+		return fmt.Sprintf("point %s panicked: %v", e.Point, e.Value)
+	}
+	return fmt.Sprintf("task panicked: %v", e.Value)
+}
 
 // WatchdogError reports a task that exceeded the pool's wall-clock watchdog.
 // The runaway goroutine cannot be killed: it keeps running (and keeps
@@ -41,10 +50,22 @@ func (e *PanicError) Error() string { return fmt.Sprintf("task panicked: %v", e.
 type WatchdogError struct {
 	// Limit is the watchdog duration that was exceeded.
 	Limit time.Duration
+	// Point identifies the task when it was submitted through a named API.
+	Point string
+	// Retried reports that this was already the point's second attempt
+	// (see the named Map variants' bounded single retry).
+	Retried bool
 }
 
 func (e *WatchdogError) Error() string {
-	return fmt.Sprintf("task exceeded the %v wall-clock watchdog", e.Limit)
+	msg := fmt.Sprintf("task exceeded the %v wall-clock watchdog", e.Limit)
+	if e.Point != "" {
+		msg = fmt.Sprintf("point %s exceeded the %v wall-clock watchdog", e.Point, e.Limit)
+	}
+	if e.Retried {
+		msg += " (twice: original attempt and one checkpoint retry)"
+	}
+	return msg
 }
 
 // Pool bounds how many submitted tasks run concurrently. Create one with
@@ -123,6 +144,13 @@ type Future[T any] struct {
 // Submit schedules fn on the pool and returns a Future for its result. The
 // task starts as soon as a slot frees up; Submit itself never blocks.
 func Submit[T any](p *Pool, fn func() T) *Future[T] {
+	return SubmitNamed(p, "", fn)
+}
+
+// SubmitNamed is Submit with a point label: any PanicError or
+// WatchdogError the task resolves with carries the label, so failures are
+// identifiable (and reproducible) from the error alone.
+func SubmitNamed[T any](p *Pool, point string, fn func() T) *Future[T] {
 	// Capacity 2: with a watchdog armed, both the timeout and the (late)
 	// task result may be sent; the Future keeps whichever arrives first and
 	// neither sender ever blocks.
@@ -132,13 +160,13 @@ func Submit[T any](p *Pool, fn func() T) *Future[T] {
 		defer func() { <-p.sem }()
 		if wd := p.watchdog; wd > 0 {
 			timer := time.AfterFunc(wd, func() {
-				f.ch <- result[T]{err: &WatchdogError{Limit: wd}}
+				f.ch <- result[T]{err: &WatchdogError{Limit: wd, Point: point}}
 			})
 			defer timer.Stop()
 		}
 		defer func() {
 			if r := recover(); r != nil {
-				f.ch <- result[T]{err: &PanicError{Value: r, Stack: debug.Stack()}}
+				f.ch <- result[T]{err: &PanicError{Value: r, Stack: debug.Stack(), Point: point}}
 			}
 		}()
 		f.ch <- result[T]{val: fn()}
@@ -220,6 +248,69 @@ func MapResults[In, Out any](p *Pool, items []In, fn func(In) Out) []TaskResult[
 	out := make([]TaskResult[Out], len(items))
 	for i, f := range futs {
 		out[i].Val, out[i].Err = f.Result()
+	}
+	return out
+}
+
+// resultRetryWatchdog collects a named task's result, retrying a
+// watchdog-timed-out point exactly once. The retry is deliberately a plain
+// resubmission of the same deterministic closure — same seed, same
+// options; with checkpointing active the rerun replays through (and
+// verifies) the point's last recorded watermark — and there is exactly one,
+// with no backoff loop: a point that times out twice is genuinely wedged
+// (or the watchdog genuinely too tight) and anything more would mask a
+// determinism or livelock bug behind unbounded retries. The first
+// attempt's runaway goroutine cannot be killed and keeps running; its
+// duplicate is harmless because points are isolated pure functions.
+func resultRetryWatchdog[T any](p *Pool, point string, fn func() T, f *Future[T]) (T, error) {
+	v, err := f.Result()
+	if _, ok := err.(*WatchdogError); !ok {
+		return v, err
+	}
+	v2, err2 := SubmitNamed(p, point, fn).Result()
+	if we2, ok := err2.(*WatchdogError); ok {
+		we2.Retried = true
+	}
+	return v2, err2
+}
+
+// MapNamed is Map with a per-item point label (used for failure
+// identification and checkpoint keys) and a bounded single retry of
+// watchdog-timed-out points. Like Map it panics on the first failed item —
+// with the labeled *PanicError or *WatchdogError itself, so the caller's
+// FAILED report identifies the point — and returns results in item order.
+func MapNamed[In, Out any](p *Pool, items []In, name func(In) string, fn func(In) Out) []Out {
+	futs := make([]*Future[Out], len(items))
+	for i := range items {
+		it := items[i]
+		futs[i] = SubmitNamed(p, name(it), func() Out { return fn(it) })
+	}
+	out := make([]Out, len(items))
+	for i, f := range futs {
+		it := items[i]
+		v, err := resultRetryWatchdog(p, name(it), func() Out { return fn(it) }, f)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// MapResultsNamed is MapResults with per-item point labels and the same
+// bounded single watchdog retry as MapNamed: errors carry the point
+// identification, and a point is reported failed only after its one retry
+// also failed.
+func MapResultsNamed[In, Out any](p *Pool, items []In, name func(In) string, fn func(In) Out) []TaskResult[Out] {
+	futs := make([]*Future[Out], len(items))
+	for i := range items {
+		it := items[i]
+		futs[i] = SubmitNamed(p, name(it), func() Out { return fn(it) })
+	}
+	out := make([]TaskResult[Out], len(items))
+	for i, f := range futs {
+		it := items[i]
+		out[i].Val, out[i].Err = resultRetryWatchdog(p, name(it), func() Out { return fn(it) }, f)
 	}
 	return out
 }

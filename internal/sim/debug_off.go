@@ -13,3 +13,7 @@ func (e *Event) debugAccess(string) {}
 
 func (e *Engine) debugAlloc(*Event)   {}
 func (e *Engine) debugRelease(*Event) {}
+
+// debugQueueDump adds nothing to VerifyRestore diagnostics in release
+// builds; `-tags simdebug` dumps the head of the live event queue.
+func (e *Engine) debugQueueDump(int) string { return "" }

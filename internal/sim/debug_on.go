@@ -2,7 +2,10 @@
 
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Debug reports whether the simdebug build tag is active.
 const Debug = true
@@ -36,4 +39,21 @@ func (e *Engine) debugAlloc(ev *Event) {
 // debugRelease poisons an event as it enters the free list.
 func (e *Engine) debugRelease(ev *Event) {
 	ev.at = poisonTime
+}
+
+// debugQueueDump renders the first n live pending-event keys in pop order,
+// for the VerifyRestore divergence diagnostic: comparing the recorded and
+// restored heads shows exactly which scheduled instant first went wrong.
+func (e *Engine) debugQueueDump(n int) string {
+	live := e.liveEntries(nil)
+	sort.Slice(live, func(i, j int) bool { return live[i].less(live[j]) })
+	if len(live) > n {
+		live = live[:n]
+	}
+	s := "\n  restored queue head:"
+	for _, en := range live {
+		s += fmt.Sprintf("\n    at=%d ins=%d tag=%#x ctr=%d",
+			en.at, en.ins, en.seq>>seqCounterBits, en.seq&(1<<seqCounterBits-1))
+	}
+	return s
 }

@@ -60,6 +60,14 @@ type ShardSet struct {
 	// shard's Merge runs on the worker that owns the shard, strictly
 	// between the window barrier and the planning barrier.
 	Merge func(shard int, windowEnd Time)
+	// Tick, when non-nil, runs on worker 0 at every chunk boundary of Run,
+	// with every shard quiescent and exactly the events at or before the
+	// boundary executed — the same prefix a serial engine stopped there
+	// would have run. Checkpointing hooks in here: the boundary is the
+	// sharded runtime's quiescent barrier, so per-shard Snapshot states
+	// taken inside Tick are reproducible across runs. Tick fires only when
+	// Run was given a done callback (chunked execution).
+	Tick func(boundary Time)
 }
 
 // Run advances every shard in lockstep windows until all engines drain, the
@@ -113,8 +121,13 @@ func (ss *ShardSet) Run(deadline, chunk Time, done func() bool, workers int) {
 					ss.Engines[sh].Run(start)
 				}
 				bar.await()
-				if id == 0 && done() {
-					halt.Store(true)
+				if id == 0 {
+					if ss.Tick != nil {
+						ss.Tick(start)
+					}
+					if done() {
+						halt.Store(true)
+					}
 				}
 				bar.await()
 				if halt.Load() {

@@ -47,3 +47,39 @@ if ! cmp -s "$workdir/full.cmp" "$workdir/resumed.cmp"; then
   exit 1
 fi
 echo "OK: kill-and-resume output byte-identical to the uninterrupted run"
+
+# Same contract for the production experiment on its own, through fbsim:
+# the mix's lazy beacon chains and per-shard sketch merges must replay to
+# the same bytes across a mid-flight SIGKILL. fbsim output carries no
+# wall-time line, so the comparison is a direct cmp.
+go build -o "$workdir/fbsim" ./cmd/fbsim
+pargs=(-exp production -scale tiny -flows 300 -seed 2)
+
+echo "== production: uninterrupted golden run"
+p_start=$(date +%s%N)
+"$workdir/fbsim" "${pargs[@]}" > "$workdir/pfull.txt"
+p_ns=$(( $(date +%s%N) - p_start ))
+p_half=$(awk "BEGIN{printf \"%.2f\", $p_ns/2e9}")
+
+echo "== production: checkpointed run, SIGKILL after ${p_half}s (~50%)"
+"$workdir/fbsim" "${pargs[@]}" -checkpoint "$workdir/prod.ckpt" \
+  > "$workdir/ppart.txt" 2>/dev/null &
+pid=$!
+sleep "$p_half"
+kill -KILL "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+if [ ! -s "$workdir/prod.ckpt" ]; then
+  echo "FAIL: no production checkpoint file survived the SIGKILL" >&2
+  exit 1
+fi
+
+echo "== production: resume from the checkpoint"
+"$workdir/fbsim" "${pargs[@]}" -resume "$workdir/prod.ckpt" > "$workdir/presumed.txt"
+
+if ! cmp -s "$workdir/pfull.txt" "$workdir/presumed.txt"; then
+  echo "FAIL: resumed production output differs from the uninterrupted run" >&2
+  diff "$workdir/pfull.txt" "$workdir/presumed.txt" >&2 || true
+  exit 1
+fi
+echo "OK: production kill-and-resume output byte-identical to the uninterrupted run"

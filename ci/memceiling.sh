@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Memory-ceiling smoke for the production experiment.
+#
+# The contract: ProductionMix accounts FCTs in streaming sketches, so peak
+# memory is set by the in-flight flow window (arrival rate x [FCT + the
+# 2xRTOMax endpoint-teardown linger]), NOT by the total flow count. A
+# hold-every-sample path would need ~GBs at a million flows; the sketch
+# path must finish a 10x larger run inside the same fixed ceiling.
+#
+# Method: run the same low-rate mice workload at 100k and at 1M flows
+# under a tight GOMEMLIMIT (so the GC keeps the heap near the live set
+# instead of growing lazily), parse fbsim's own peak-memory line from -v
+# output, and require the 1M peak to stay under a flow-count-independent
+# ceiling.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/fbsim" ./cmd/fbsim
+
+# All-mice CDF: keeps per-flow service time tiny so arrivals, not flow
+# transmission, dominate the in-flight window.
+printf '300 0\n600 0.5\n1200 1.0\n' > "$work/mice.cdf"
+
+# CEILING_MB is calibrated ~1.5x above the observed 1M-flow peak (167 MB
+# on the reference box under GOMEMLIMIT=192MiB) and far below what
+# holding a million samples would cost.
+CEILING_MB=256
+run() { # run <flows> <outfile> -> echoes peak MB
+  local flows=$1 out=$2 peak
+  GOMEMLIMIT=192MiB "$work/fbsim" -exp production -scale tiny \
+    -schemes ECMP -cdf "$work/mice.cdf" -load 0.001 \
+    -flows "$flows" -seed 2 -v >"$out" 2>"$out.err"
+  peak=$(sed -n 's/.*peak memory \([0-9][0-9]*\) MB from OS.*/\1/p' "$out.err")
+  if [ -z "$peak" ]; then
+    echo "FAIL: no peak-memory line in -v output for $flows flows" >&2
+    cat "$out.err" >&2
+    exit 1
+  fi
+  echo "$peak"
+}
+
+small_peak=$(run 100000 "$work/small.txt")
+big_peak=$(run 1000000 "$work/big.txt")
+echo "peak memory: 100k flows = ${small_peak} MB, 1M flows = ${big_peak} MB"
+
+grep -q '1000000/1000000' "$work/big.txt" || {
+  echo "FAIL: 1M-flow run did not complete all flows" >&2
+  grep -m1 'completed' "$work/big.txt" >&2 || cat "$work/big.txt" >&2
+  exit 1
+}
+
+if [ "$big_peak" -gt "$CEILING_MB" ]; then
+  echo "FAIL: 1M-flow peak ${big_peak} MB exceeds the ${CEILING_MB} MB ceiling" >&2
+  echo "(memory must not scale with flow count; 100k peak was ${small_peak} MB)" >&2
+  exit 1
+fi
+# Flat-memory check relative to the small run: 10x the flows may not even
+# double the peak (slack absorbs GC/runtime noise, not real growth).
+if [ "$big_peak" -gt $((small_peak * 2)) ]; then
+  echo "FAIL: 1M-flow peak ${big_peak} MB is more than 2x the 100k-flow peak ${small_peak} MB" >&2
+  exit 1
+fi
+
+echo "PASS: million-flow production run stays under the ${CEILING_MB} MB ceiling"

@@ -234,6 +234,7 @@ func runJSON(dir, scaleList string, seed int64, parallel, shards int) int {
 				snap.Fold(prefix+"_wall_ms", float64(wall.Microseconds())/1000)
 				snap.Fold(prefix+"_events_per_sec", perf.EventsPerSec(wall))
 				snap.Fold(prefix+"_simsec_per_wallsec", perf.SimSecPerWallSec(wall))
+				snap.Fold(prefix+"_flows_per_sec", perf.FlowsPerSec(wall))
 			}
 		}
 	}

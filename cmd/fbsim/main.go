@@ -43,6 +43,9 @@ func main() {
 		shards   = flag.Int("shards", 0, "split each shardable simulation point (ECMP/Flowlet/FlowDyn, see -list-schemes) across this many engine shards (0/1 = serial; output is identical at any count)")
 		seeds    = flag.Int("seeds", 0, "replicate each point over this many seeds and report mean ± stddev")
 		cdfPath  = flag.String("cdf", "", "flow-size CDF file for all-to-all workloads (lines of \"<bytes> <cumulative-prob>\")")
+		workld   = flag.String("workload", "", "production-mix workload for -exp production: websearch (diurnal arrivals with a load spike) or datamining (Poisson); empty = websearch")
+		loadFrac = flag.Float64("load", 0, "production-mix offered load as a fraction of bisection bandwidth (0 = 0.5)")
+		schemesF = flag.String("schemes", "", "comma-separated schemes for -exp production (see -list-schemes; empty = ECMP,FlowBender,RepFlow,DiffFlow)")
 		faultSel = flag.String("faults", "", "comma-separated fault scenarios for -exp faults (empty = all; see -list-faults)")
 		listF    = flag.Bool("list-faults", false, "list available fault scenarios")
 		listS    = flag.Bool("list-schemes", false, "list the load-balancing schemes experiments compare")
@@ -139,6 +142,27 @@ func main() {
 			}
 		}
 	}
+	if *workld != "" {
+		if _, err := workload.NamedCDF(*workld); err != nil {
+			fmt.Fprintln(os.Stderr, "fbsim:", err)
+			exit(2)
+		}
+		o.Workload = *workld
+	}
+	o.Load = *loadFrac
+	if *schemesF != "" {
+		for _, name := range strings.Split(*schemesF, ",") {
+			if name = strings.TrimSpace(name); name == "" {
+				continue
+			}
+			s, ok := experiments.SchemeByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fbsim: unknown scheme %q (use -list-schemes)\n", name)
+				exit(2)
+			}
+			o.MixSchemes = append(o.MixSchemes, s)
+		}
+	}
 	if *cdfPath != "" {
 		f, err := os.Open(*cdfPath)
 		if err != nil {
@@ -184,9 +208,16 @@ func main() {
 		Seeds:           *seeds,
 		CheckpointEvery: int64(*ckptEvery),
 	}
+	var extra []string
 	if *faultSel != "" || *cdfPath != "" {
-		desc.Extra = fmt.Sprintf("faults=%s cdf=%s", *faultSel, *cdfPath)
+		extra = append(extra, fmt.Sprintf("faults=%s cdf=%s", *faultSel, *cdfPath))
 	}
+	if *workld != "" || *loadFrac != 0 || *schemesF != "" {
+		// Workload shape is part of the run's identity: a resume under a
+		// different production configuration must be refused.
+		extra = append(extra, fmt.Sprintf("workload=%s load=%g schemes=%s", *workld, *loadFrac, *schemesF))
+	}
+	desc.Extra = strings.Join(extra, " ")
 	mgr, err := checkpoint.FromFlags(*ckptPath, *resumeP, desc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fbsim:", err)
@@ -220,6 +251,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fbsim: %d events in %v (%.3g events/sec, %.3g sim-sec/wall-sec)\n",
 			perf.Events.Load(), wall.Round(time.Millisecond),
 			perf.EventsPerSec(wall), perf.SimSecPerWallSec(wall))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		fmt.Fprintf(os.Stderr, "fbsim: %d flows completed (%.3g flows/sec), peak memory %d MB from OS\n",
+			perf.FlowsCompleted.Load(), perf.FlowsPerSec(wall), ms.Sys/(1<<20))
 	}
 	if *asJSON {
 		if err := experiments.WriteJSON(os.Stdout, res); err != nil {

@@ -136,7 +136,7 @@ func AllToAll(o Options) *AllToAllResult {
 					p99s = append(p99s, mine.Percentile(99))
 					meanNorms = append(meanNorms, stats.Ratio(mine.Mean(), ref.Mean()))
 					p99Norms = append(p99Norms, stats.Ratio(mine.Percentile(99), ref.Percentile(99)))
-					n += mine.N()
+					n += int(mine.N())
 				}
 				mn := stats.Summarize(meanNorms)
 				pn := stats.Summarize(p99Norms)

@@ -221,7 +221,7 @@ func (r *FaultMatrixResult) runOne(o Options, pt faultPoint) FaultCell {
 	o.recordPerf(eng)
 
 	cell := FaultCell{Total: len(flows)}
-	var affected stats.Sample
+	var affected stats.Sketch
 	var recTotal sim.Time
 	var recCount int64
 	for _, f := range flows {

@@ -25,8 +25,11 @@ type runOutcome struct {
 	Flows []*tcp.Flow
 	Jobs  []*workload.Job
 
-	// Binned receiver-side flow completion times, in seconds.
-	FCT stats.BinnedSample
+	// Binned receiver-side flow completion times, in seconds. The sketch
+	// stays exact (bit-identical to the historical BinnedSample) below its
+	// per-bin cap, which every table-scale run fits; past the cap it
+	// collapses to flat-memory streaming quantiles.
+	FCT stats.BinnedSketch
 
 	DataPackets int64
 	OutOfOrder  int64
@@ -171,6 +174,7 @@ func (o Options) runAllToAll(spec allToAllSpec) *runOutcome {
 
 	out := &runOutcome{Flows: gen.Flows, SimTime: eng.Now()}
 	out.collect()
+	o.recordFlows(int64(len(out.Flows) - out.Incomplete))
 	return out
 }
 

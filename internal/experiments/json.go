@@ -86,6 +86,23 @@ func (c FaultCell) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
+// MarshalJSON renders empty-bin NaN quantiles as null, which encoding/json
+// otherwise rejects.
+func (c MixBinCell) MarshalJSON() ([]byte, error) {
+	q := func(v float64) *float64 {
+		if math.IsNaN(v) {
+			return nil
+		}
+		return &v
+	}
+	return json.Marshal(struct {
+		N      int64
+		P50ms  *float64
+		P99ms  *float64
+		P999ms *float64
+	}{c.N, q(c.P50ms), q(c.P99ms), q(c.P999ms)})
+}
+
 // WriteJSON encodes any experiment result as indented JSON.
 func WriteJSON(w io.Writer, res Printable) error {
 	enc := json.NewEncoder(w)

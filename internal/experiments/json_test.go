@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
@@ -69,6 +70,10 @@ func TestEveryResultTypeMarshals(t *testing.T) {
 		&WCMPResult{},
 		&UDPSprayResult{},
 		&AblationResult{},
+		// Empty bins carry NaN quantiles; the cell marshaler must render
+		// them as null instead of failing the whole encode.
+		&ProductionMixResult{Schemes: DefaultMixSchemes,
+			Cells: map[Scheme]MixCell{ECMP: {All: MixBinCell{P50ms: math.NaN()}}}},
 	}
 	for i, r := range results {
 		var buf bytes.Buffer

@@ -114,7 +114,7 @@ func (r *LinkFailureResult) runOne(o Options, scheme Scheme) linkFailureOut {
 	o.drain(eng, r.Deadline, allFlowsDone(flows))
 	o.recordPerf(eng)
 
-	var affected, unaffected stats.Sample
+	var affected, unaffected stats.Sketch
 	for _, f := range flows {
 		hadTimeout := f.Sender().Timeouts > 0
 		if hadTimeout {

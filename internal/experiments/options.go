@@ -84,14 +84,37 @@ type Options struct {
 	// aggregate; Table 1 folds it into Repeats). 0 or 1 runs one seed.
 	Seeds int
 
-	// CDF overrides the flow-size distribution of the all-to-all
-	// workloads (nil = the paper's web-search CDF). Load with
-	// workload.ParseCDF to run external distributions.
+	// CDF overrides the flow-size distribution of the all-to-all and
+	// production workloads (nil = the paper's web-search CDF, or the CDF
+	// the production Workload names). Load with workload.ParseCDF to run
+	// external distributions.
 	CDF workload.CDF
 
 	// FaultScenarios restricts the fault-matrix experiment to the named
 	// scenarios (see FaultScenarioNames); empty runs the whole suite.
 	FaultScenarios []string
+
+	// Workload names the production-mix traffic shape: "websearch"
+	// (heavy-tailed sizes, diurnal arrivals with a load spike) or
+	// "datamining" (mice/elephant split, Poisson arrivals). Empty =
+	// websearch. Only the production experiment reads it.
+	Workload string
+
+	// Load is the production-mix offered load as a fraction of bisection
+	// bandwidth (0 = 0.5). Only the production experiment reads it.
+	Load float64
+
+	// MixSchemes restricts the production experiment's scheme comparison
+	// (nil = ECMP, FlowBender, RepFlow, DiffFlow — the schemes whose
+	// designs target production flow-size mixes).
+	MixSchemes []Scheme
+
+	// FullSampleStats switches the production experiment's FCT accounting
+	// from the streaming sketch to the legacy hold-every-sample path. Used
+	// by the differential test proving the two render identical output at
+	// small scale; memory grows with flow count, so never use it at
+	// production sizes.
+	FullSampleStats bool
 
 	// Perf, when non-nil, accumulates simulator throughput (events
 	// executed, virtual time advanced) across every simulation point the

@@ -140,7 +140,7 @@ func (o Options) runPartAgg(scheme Scheme, fanIn int, load float64, jobBytes int
 	})
 	o.recordPerf(eng)
 
-	var s stats.Sample
+	var s stats.Sketch
 	for _, j := range gen.Jobs {
 		if j.Done() {
 			s.Add(j.CompletionTime().Seconds())

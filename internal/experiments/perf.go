@@ -22,6 +22,10 @@ type PerfStats struct {
 	Events atomic.Int64
 	// SimNanos sums the virtual time each point's engine reached.
 	SimNanos atomic.Int64
+	// FlowsCompleted counts transport flows that delivered their full
+	// payload, across all points of the experiments that report it (the
+	// production mix and the all-to-all family).
+	FlowsCompleted atomic.Int64
 
 	mu sync.Mutex
 	// shardEvents[i] accumulates events executed by shard i across all
@@ -52,6 +56,14 @@ func (p *PerfStats) addShard(shard int, events int64) {
 	p.shardEvents[shard] += events
 }
 
+// FlowsPerSec returns completed flows per wall-clock second.
+func (p *PerfStats) FlowsPerSec(wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(p.FlowsCompleted.Load()) / wall.Seconds()
+}
+
 // EventsPerSec returns executed events per wall-clock second.
 func (p *PerfStats) EventsPerSec(wall time.Duration) float64 {
 	if wall <= 0 {
@@ -66,6 +78,15 @@ func (p *PerfStats) SimSecPerWallSec(wall time.Duration) float64 {
 		return 0
 	}
 	return (sim.Time(p.SimNanos.Load())).Seconds() / wall.Seconds()
+}
+
+// recordFlows folds one finished simulation point's completed-flow count
+// into the attached PerfStats, if any.
+func (o Options) recordFlows(n int64) {
+	if o.Perf == nil {
+		return
+	}
+	o.Perf.FlowsCompleted.Add(n)
 }
 
 // recordPerf folds one finished simulation point's engine totals into the

@@ -1,0 +1,574 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"text/tabwriter"
+
+	"flowbender/internal/core"
+	"flowbender/internal/netsim"
+	"flowbender/internal/runpool"
+	"flowbender/internal/sim"
+	"flowbender/internal/stats"
+	"flowbender/internal/tcp"
+	"flowbender/internal/topo"
+	"flowbender/internal/workload"
+)
+
+// Production-mix composition: the fractions and fan-outs of the non-plain
+// traffic patterns. Fixed constants (not Options) so a workload name plus a
+// seed fully determines the schedule.
+const (
+	// MixIncastFrac is the fraction of batches that are partition-aggregate
+	// responses (MixFanIn workers converging on one aggregator).
+	MixIncastFrac = 0.15
+	// MixStorageFrac is the fraction of batches that are replicated storage
+	// writes (one writer, MixReplicas copies).
+	MixStorageFrac = 0.10
+	// MixFanIn is the incast width.
+	MixFanIn = 8
+	// MixReplicas is the storage replication factor.
+	MixReplicas = 3
+)
+
+// DefaultMixSchemes is the production experiment's comparison set: the
+// schemes whose designs explicitly target production flow-size mixes —
+// the ECMP baseline, FlowBender, and the two short-flow-aware competitors.
+var DefaultMixSchemes = []Scheme{ECMP, FlowBender, RepFlow, DiffFlow}
+
+func (o Options) mixSchemes() []Scheme {
+	if len(o.MixSchemes) > 0 {
+		return o.MixSchemes
+	}
+	return DefaultMixSchemes
+}
+
+func (o Options) workloadName() string {
+	if o.Workload != "" {
+		return o.Workload
+	}
+	return "websearch"
+}
+
+func (o Options) load() float64 {
+	if o.Load > 0 {
+		return o.Load
+	}
+	return 0.5
+}
+
+// newMix builds the production workload generator for one simulation point.
+// Everything — the size CDF, the arrival process and its diurnal shape, the
+// deadline — is a pure function of (options, topology, flow count), so the
+// serial and sharded runners draw byte-identical schedules. The returned
+// deadline covers the expected makespan with 50% slack plus the usual
+// post-arrival drain budget, so it too is deterministic.
+func (o Options) newMix(rng *sim.RNG, hosts []*netsim.Host, p topo.Params, cdf workload.CDF, flows int) (*workload.Mix, sim.Time) {
+	m := &workload.Mix{
+		RNG:         rng,
+		Hosts:       hosts,
+		CDF:         cdf,
+		IncastFrac:  MixIncastFrac,
+		StorageFrac: MixStorageFrac,
+		FanIn:       MixFanIn,
+		Replicas:    MixReplicas,
+		MaxFlows:    flows,
+	}
+	gap := workload.AggregateInterarrival(
+		o.load(), p.BisectionBps(), p.InterPodFraction(), m.MeanBatchBytes())
+	// Expected flows per batch, hence expected batch count and makespan.
+	perBatch := 1*(1-MixIncastFrac-MixStorageFrac) + MixFanIn*MixIncastFrac + MixReplicas*MixStorageFrac
+	makespan := sim.Time(float64(gap) * float64(flows) / perBatch)
+	switch o.workloadName() {
+	case "datamining":
+		// The data-mining story is steady background load: plain Poisson.
+		m.Arrivals = workload.Poisson{Mean: gap}
+	default:
+		// The web-search story is a service under diurnal load: one full
+		// sinusoidal cycle over the run with a 3x request spike a quarter
+		// of the way through, lasting 5% of the run.
+		m.Arrivals = workload.Diurnal{
+			Mean:      gap,
+			Amplitude: 0.3,
+			Period:    makespan,
+			Spikes: []workload.Spike{
+				{At: makespan / 4, Duration: makespan / 20, Factor: 3},
+			},
+		}
+	}
+	return m, makespan + makespan/2 + o.maxWait()
+}
+
+// mixRecorder accumulates completed-flow FCTs for one simulation point (or
+// one shard of it), on either the streaming-sketch path (default: flat
+// memory at any flow count) or the legacy hold-every-sample path (the
+// differential test proving both render identical output at small scale).
+// Rendering reads only counts and quantiles — both order-independent given
+// the same observation multiset — which is what makes the sharded runner's
+// shard-order merge bit-identical to the serial run.
+type mixRecorder struct {
+	sketch stats.BinnedSketch
+	sample *stats.BinnedSample
+}
+
+func newMixRecorder(fullSample bool) *mixRecorder {
+	r := &mixRecorder{}
+	if fullSample {
+		r.sample = &stats.BinnedSample{}
+	}
+	return r
+}
+
+func (r *mixRecorder) add(size int64, fct float64) {
+	if r.sample != nil {
+		r.sample.Add(size, fct)
+		return
+	}
+	r.sketch.Add(size, fct)
+}
+
+// merge folds o into r (bin by bin, in o's insertion order).
+func (r *mixRecorder) merge(o *mixRecorder) {
+	if r.sample != nil {
+		for b := range r.sample.Bins {
+			for _, x := range o.sample.Bins[b].Values() {
+				r.sample.Bins[b].Add(x)
+			}
+		}
+		return
+	}
+	for b := range r.sketch.Bins {
+		r.sketch.Bins[b].Merge(&o.sketch.Bins[b])
+	}
+}
+
+// bin returns one size bin's count and {p50, p99, p99.9} in seconds.
+func (r *mixRecorder) bin(b int) (n int64, p50, p99, p999 float64) {
+	if r.sample != nil {
+		s := &r.sample.Bins[b]
+		return int64(s.N()), s.Percentile(50), s.Percentile(99), s.Percentile(99.9)
+	}
+	s := &r.sketch.Bins[b]
+	return s.N(), s.Percentile(50), s.Percentile(99), s.Percentile(99.9)
+}
+
+// all returns the same over every bin combined.
+func (r *mixRecorder) all() (n int64, p50, p99, p999 float64) {
+	if r.sample != nil {
+		s := r.sample.All()
+		return int64(s.N()), s.Percentile(50), s.Percentile(99), s.Percentile(99.9)
+	}
+	s := r.sketch.All()
+	return s.N(), s.Percentile(50), s.Percentile(99), s.Percentile(99.9)
+}
+
+// mixOutcome aggregates one production point's measurements. Unlike
+// runOutcome it holds no per-flow state: every field is updated streamingly
+// from OnComplete, so memory stays flat at million-flow counts.
+type mixOutcome struct {
+	rec *mixRecorder
+
+	planned   int64 // flows the schedule holds
+	started   int64 // arrival events that ran
+	completed int64 // receivers that got their full payload
+
+	kinds [3]int64 // completed flows by workload.PatternKind
+
+	dataPackets int64
+	outOfOrder  int64
+	timeouts    int64
+	retransmits int64
+	reroutes    int64
+
+	simTime sim.Time
+}
+
+// record is the per-flow OnComplete accounting. It runs at the completion
+// instant — the same virtual time on the serial and sharded schedules — so
+// every counter it reads has the identical value on both paths (counters
+// can keep moving after completion while retransmits drain, so end-of-run
+// reads would not be shard-stable).
+func (m *mixOutcome) record(kind workload.PatternKind, f *tcp.Flow) {
+	m.completed++
+	m.kinds[kind]++
+	m.rec.add(f.Size, f.FCT().Seconds())
+	m.dataPackets += f.DataPackets()
+	m.outOfOrder += f.OutOfOrder()
+	m.timeouts += f.Sender().Timeouts
+	m.retransmits += f.Sender().Retransmits
+	m.reroutes += f.FlowBenderStats().Reroutes
+}
+
+// fold merges a shard's outcome into the point total (called in shard-index
+// order, once per shard, after the run).
+func (m *mixOutcome) fold(o *mixOutcome) {
+	m.rec.merge(o.rec)
+	m.started += o.started
+	m.completed += o.completed
+	for k := range m.kinds {
+		m.kinds[k] += o.kinds[k]
+	}
+	m.dataPackets += o.dataPackets
+	m.outOfOrder += o.outOfOrder
+	m.timeouts += o.timeouts
+	m.retransmits += o.retransmits
+	m.reroutes += o.reroutes
+}
+
+// runProduction executes one (scheme) point of the production experiment.
+func (o Options) runProduction(scheme Scheme, cdf workload.CDF, flows int) *mixOutcome {
+	if out, ok := o.tryRunProductionSharded(scheme, cdf, flows); ok {
+		return out
+	}
+	eng := sim.NewEngine()
+	rootRNG := sim.NewRNG(o.Seed)
+	set := scheme.setup(rootRNG.Fork("scheme"), core.Config{})
+
+	p := o.params()
+	p.PFC = set.pfc
+	ft := topo.NewFatTree(eng, p)
+	ft.SetSelector(set.sel)
+
+	mix, deadline := o.newMix(rootRNG.Fork("workload"), ft.Hosts, p, cdf, flows)
+	out := &mixOutcome{planned: int64(flows), rec: newMixRecorder(o.FullSampleStats)}
+
+	// Beacon chain mirroring the sharded planner: exactly one flow starts
+	// per beacon event and the next beacon is scheduled from inside it, so
+	// the event-insertion order — receiver, sender, next arrival — matches
+	// the sharded replay. Batches are pulled from the mix lazily and flow
+	// references are dropped at start (OnComplete owns all accounting; the
+	// hosts tear endpoints down after close), so memory is flat in the flow
+	// count.
+	var pending []workload.FlowSpec
+	var beacon func()
+	beacon = func() {
+		spec := pending[0]
+		pending = pending[1:]
+		out.started++
+		f := tcp.StartFlow(eng, set.cfg, netsim.FlowID(out.started), spec.Src, spec.Dst, spec.Size)
+		kind := spec.Kind
+		f.OnComplete = func(f *tcp.Flow) { out.record(kind, f) }
+		if len(pending) == 0 {
+			pending = mix.NextBatch()
+		}
+		if len(pending) > 0 {
+			eng.At(pending[0].At, beacon)
+		}
+	}
+	pending = mix.NextBatch()
+	if len(pending) > 0 {
+		beacon() // the first arrival is at time zero, handled at setup
+	}
+
+	done := func() bool {
+		return mix.Done() && len(pending) == 0 && out.completed == out.started
+	}
+	o.drain(eng, deadline, done)
+	o.recordPerf(eng)
+	o.recordFlows(out.completed)
+	out.simTime = eng.Now()
+	return out
+}
+
+// tryRunProductionSharded is the production analogue of
+// tryRunAllToAllSharded: the same guards, the same pre-drawn schedule
+// replayed through per-shard beacon chains, the same bounded-lag execution.
+// Per-shard accounting is the one addition: each flow's OnComplete records
+// into its destination shard's private recorder (completions on different
+// shards run concurrently), and the per-shard outcomes fold in shard-index
+// order after the run. The rendered output reads only counts and quantiles,
+// both order-independent, so the fold is bit-identical to the serial path.
+// Unlike the serial runner this plans all flows up front — O(flows) plan
+// memory; the flat-memory guarantee belongs to the serial path.
+func (o Options) tryRunProductionSharded(scheme Scheme, cdf workload.CDF, flows int) (*mixOutcome, bool) {
+	if o.Shards <= 1 || !scheme.shardable() || flows <= 0 {
+		return nil, false
+	}
+	p := o.params()
+	part := topo.PartitionFatTree(p, o.Shards)
+	if part.Shards < 2 {
+		return nil, false
+	}
+	if w, ok := part.Lookahead(p); !ok || w <= 0 {
+		return nil, false
+	}
+
+	rootRNG := sim.NewRNG(o.Seed)
+	set := scheme.setup(rootRNG.Fork("scheme"), core.Config{})
+	if set.pfc != nil {
+		return nil, false
+	}
+	p.PFC = set.pfc
+
+	engines := make([]*sim.Engine, part.Shards)
+	for i := range engines {
+		engines[i] = sim.NewEngine()
+	}
+	sft := topo.NewShardedFatTree(engines, p, part)
+	sft.SetSelector(set.sel)
+
+	mix, deadline := o.newMix(rootRNG.Fork("workload"), sft.Hosts, p, cdf, flows)
+	arrivals := mix.PredrawFlows()
+
+	shardOf := make(map[*netsim.Host]int, len(sft.Hosts))
+	for h, host := range sft.Hosts {
+		shardOf[host] = part.HostShard[h]
+	}
+	outs := make([]*mixOutcome, part.Shards)
+	for i := range outs {
+		outs[i] = &mixOutcome{rec: newMixRecorder(o.FullSampleStats)}
+	}
+	pending := make([]*tcp.PendingFlow, len(arrivals))
+	srcShard := make([]int, len(arrivals))
+	dstShard := make([]int, len(arrivals))
+	for i, a := range arrivals {
+		pending[i] = tcp.PlanFlow(set.cfg, netsim.FlowID(i+1), a.Src, a.Dst, a.Size)
+		srcShard[i] = shardOf[a.Src]
+		dstShard[i] = shardOf[a.Dst]
+		kind := a.Kind
+		dst := outs[dstShard[i]]
+		pending[i].Flow().OnComplete = func(f *tcp.Flow) { dst.record(kind, f) }
+	}
+
+	// One beacon chain per shard, as in the all-to-all runner; the start
+	// counter lives on the source shard, where the sender event runs.
+	for s := range engines {
+		s, eng := s, engines[s]
+		next := 0
+		var beacon func()
+		beacon = func() {
+			i := next
+			next++
+			if dstShard[i] == s {
+				pending[i].StartReceiver()
+			}
+			if srcShard[i] == s {
+				pending[i].StartSender()
+				outs[s].started++
+			}
+			if next < len(arrivals) {
+				eng.At(arrivals[next].At, beacon)
+			}
+		}
+		beacon()
+	}
+
+	window := sft.Window
+	workers := part.Shards
+	borrowed := 0
+	switch {
+	case o.debugShardWindow > 0:
+		window = o.debugShardWindow
+		workers = 1
+	case o.execPool != nil:
+		borrowed = o.execPool.TryAcquire(part.Shards - 1)
+		defer o.execPool.Release(borrowed)
+		workers = 1 + borrowed
+	default:
+		if mp := runtime.GOMAXPROCS(0); workers > mp {
+			workers = mp
+		}
+	}
+
+	scratch := make([][]netsim.CrossMsg, part.Shards)
+	ss := &sim.ShardSet{
+		Engines: engines,
+		Window:  window,
+		Merge: func(shard int, windowEnd sim.Time) {
+			buf := sft.DrainInbox(shard, scratch[shard][:0])
+			netsim.MergeCross(buf, windowEnd)
+			scratch[shard] = buf
+		},
+	}
+	// Shard counters are written on their own shard's events and read by
+	// worker zero at window barriers, where ShardSet already synchronizes.
+	done := func() bool {
+		var started, completed int64
+		for _, so := range outs {
+			started += so.started
+			completed += so.completed
+		}
+		return started == int64(len(arrivals)) && completed == started
+	}
+	if ck := o.ckptTracker(); ck != nil {
+		ss.Tick = func(boundary sim.Time) { ck.tick(boundary, engines...) }
+	}
+	ss.Run(deadline, 5*sim.Millisecond, done, workers)
+	o.recordPerfShards(engines)
+
+	out := &mixOutcome{planned: int64(len(arrivals)), rec: newMixRecorder(o.FullSampleStats)}
+	for _, so := range outs {
+		out.fold(so)
+	}
+	for _, eng := range engines {
+		if eng.Now() > out.simTime {
+			out.simTime = eng.Now()
+		}
+	}
+	o.recordFlows(out.completed)
+	return out, true
+}
+
+// MixBinCell is one (scheme, size-bin) cell: completed-flow count and FCT
+// quantiles in milliseconds.
+type MixBinCell struct {
+	N      int64
+	P50ms  float64
+	P99ms  float64
+	P999ms float64
+}
+
+// MixCell is one scheme's production measurement.
+type MixCell struct {
+	Started    int64
+	Completed  int64
+	Incomplete int64 // started but not completed by the deadline
+	NotStarted int64 // scheduled arrivals the run never reached
+
+	Plain   int64 // completed flows by pattern kind
+	Incast  int64
+	Storage int64
+
+	OOOFrac     float64
+	Timeouts    int64
+	Retransmits int64
+	Reroutes    int64
+
+	Bins [stats.NumBins]MixBinCell
+	All  MixBinCell
+}
+
+func (m *mixOutcome) cell() MixCell {
+	c := MixCell{
+		Started:     m.started,
+		Completed:   m.completed,
+		Incomplete:  m.started - m.completed,
+		NotStarted:  m.planned - m.started,
+		Plain:       m.kinds[workload.KindPlain],
+		Incast:      m.kinds[workload.KindIncast],
+		Storage:     m.kinds[workload.KindStorage],
+		Timeouts:    m.timeouts,
+		Retransmits: m.retransmits,
+		Reroutes:    m.reroutes,
+	}
+	if m.dataPackets > 0 {
+		c.OOOFrac = float64(m.outOfOrder) / float64(m.dataPackets)
+	}
+	toCell := func(n int64, p50, p99, p999 float64) MixBinCell {
+		return MixBinCell{N: n, P50ms: p50 * 1000, P99ms: p99 * 1000, P999ms: p999 * 1000}
+	}
+	for b := 0; b < int(stats.NumBins); b++ {
+		c.Bins[b] = toCell(m.rec.bin(b))
+	}
+	c.All = toCell(m.rec.all())
+	return c
+}
+
+// ProductionMixResult holds the production-workload comparison.
+type ProductionMixResult struct {
+	Workload    string
+	Load        float64
+	Flows       int
+	IncastFrac  float64
+	StorageFrac float64
+	FanIn       int
+	Replicas    int
+
+	Schemes []Scheme
+	Cells   map[Scheme]MixCell
+}
+
+// ProductionMix runs the production-workload experiment: an open-loop mix of
+// plain flows, incast jobs, and replicated storage writes, sizes drawn from
+// the named empirical CDF, arrivals Poisson (datamining) or diurnal with a
+// load spike (websearch), for every scheme in the comparison set. FCTs
+// stream into mergeable quantile sketches, so the experiment runs at
+// million-flow counts with memory independent of the flow count; at small
+// counts the sketches are exact and Options.FullSampleStats pins the
+// rendered output bit-for-bit against the legacy hold-every-sample path.
+func ProductionMix(o Options) *ProductionMixResult {
+	cdf, err := workload.NamedCDF(o.workloadName())
+	if err != nil {
+		panic(err)
+	}
+	if o.CDF != nil {
+		// -cdf overrides the size distribution while the workload name keeps
+		// selecting the arrival process; the CI memory-ceiling smoke uses a
+		// mice-only CDF to run a genuine million-flow schedule cheaply.
+		cdf = o.CDF
+	}
+	schemes := o.mixSchemes()
+	flows := o.flowCount()
+	res := &ProductionMixResult{
+		Workload:    o.workloadName(),
+		Load:        o.load(),
+		Flows:       flows,
+		IncastFrac:  MixIncastFrac,
+		StorageFrac: MixStorageFrac,
+		FanIn:       MixFanIn,
+		Replicas:    MixReplicas,
+		Schemes:     schemes,
+		Cells:       make(map[Scheme]MixCell),
+	}
+	pl := o.pool()
+	name := func(s Scheme) string {
+		return o.pointLabel("production/%s/%s/seed=%d", res.Workload, s, o.Seed)
+	}
+	outs := runpool.MapNamed(pl, schemes, name, func(s Scheme) *mixOutcome {
+		oo := o
+		oo.execPool = pl
+		oo.pointKey = name(s)
+		return oo.runProduction(s, cdf, flows)
+	})
+	for i, s := range schemes {
+		cell := outs[i].cell()
+		res.Cells[s] = cell
+		o.logf("production: %s %s completed=%d/%d p50=%sms p99=%sms p99.9=%sms ooo=%.5f%%",
+			res.Workload, s, cell.Completed, cell.Started,
+			msq(cell.All.P50ms), msq(cell.All.P99ms), msq(cell.All.P999ms), cell.OOOFrac*100)
+	}
+	return res
+}
+
+// msq formats a quantile in ms; empty cells render as a dash.
+func msq(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// Print renders the per-size-class quantile table and the per-scheme
+// delivery summary.
+func (r *ProductionMixResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Production mix (%s): %d flows at %.0f%% bisection load (incast %.0f%% fan-in %d, storage %.0f%% x%d replicas)\n",
+		r.Workload, r.Flows, r.Load*100,
+		r.IncastFrac*100, r.FanIn, r.StorageFrac*100, r.Replicas)
+	fmt.Fprintln(w, "FCT quantiles by size class (ms; streaming sketch, 1% relative accuracy past the exact cap):")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tbin\tN\tp50\tp99\tp99.9")
+	for _, s := range r.Schemes {
+		c := r.Cells[s]
+		for b := 0; b < int(stats.NumBins); b++ {
+			cell := c.Bins[b]
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%s\n",
+				s, stats.SizeBin(b), cell.N, msq(cell.P50ms), msq(cell.P99ms), msq(cell.P999ms))
+		}
+		fmt.Fprintf(tw, "%s\tall\t%d\t%s\t%s\t%s\n",
+			s, c.All.N, msq(c.All.P50ms), msq(c.All.P99ms), msq(c.All.P999ms))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tcompleted\tincomplete\tnot started\tplain\tincast\tstorage\tooo\ttimeouts\tretx\treroutes")
+	for _, s := range r.Schemes {
+		c := r.Cells[s]
+		fmt.Fprintf(tw, "%s\t%d/%d\t%d\t%d\t%d\t%d\t%d\t%.5f%%\t%d\t%d\t%d\n",
+			s, c.Completed, c.Started, c.Incomplete, c.NotStarted,
+			c.Plain, c.Incast, c.Storage, c.OOOFrac*100,
+			c.Timeouts, c.Retransmits, c.Reroutes)
+	}
+	tw.Flush()
+}

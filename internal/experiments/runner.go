@@ -45,6 +45,8 @@ var Registry = []RegistryEntry{
 		func(o Options) Printable { return FaultMatrix(o) }},
 	{"wcmp", "§4.3.1: asymmetric fabric, WCMP weights, and FlowBender robustness",
 		func(o Options) Printable { return WCMP(o) }},
+	{"production", "production workloads: empirical size mixes, diurnal arrivals, incast and storage patterns, streaming FCT quantiles",
+		func(o Options) Printable { return ProductionMix(o) }},
 	{"udpspray", "§3.4.3: burst-level path spraying for unreliable transports",
 		func(o Options) Printable { return UDPSpray(o) }},
 	{"ablations", "§3.4/§5: FlowBender design-option ablations",

@@ -15,6 +15,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"flowbender/internal/core"
 	"flowbender/internal/netsim"
@@ -66,6 +67,17 @@ func (s Scheme) String() string {
 		return "DiffFlow"
 	}
 	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// SchemeByName resolves a scheme by its String() name, case-insensitively
+// (for the -schemes command-line flag).
+func SchemeByName(name string) (Scheme, bool) {
+	for _, s := range AllSchemes {
+		if strings.EqualFold(s.String(), name) {
+			return s, true
+		}
+	}
+	return 0, false
 }
 
 // schemeSetup captures everything a scheme changes relative to the ECMP

@@ -200,5 +200,6 @@ func (o Options) tryRunAllToAllSharded(spec allToAllSpec) (*runOutcome, bool) {
 	}
 	out := &runOutcome{Flows: flows, SimTime: simTime}
 	out.collect()
+	o.recordFlows(int64(len(out.Flows) - out.Incomplete))
 	return out, true
 }

@@ -159,7 +159,7 @@ func (o Options) runValidationSetup(set schemeSetup, k int, size int64) (meanMs,
 	o.drain(eng, 60*sim.Second, allFlowsDone(flows))
 	o.recordPerf(eng)
 
-	var s stats.Sample
+	var s stats.Sketch
 	for _, f := range flows {
 		if f.Done() {
 			s.Add(f.FCT().Seconds() * 1000)

@@ -85,7 +85,7 @@ func Testbed(o Options) *TestbedResult {
 	return res
 }
 
-func (o Options) runTestbed(lp topo.LeafSpineParams, scheme Scheme, load float64, flows int, size int64) *stats.Sample {
+func (o Options) runTestbed(lp topo.LeafSpineParams, scheme Scheme, load float64, flows int, size int64) *stats.Sketch {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(o.Seed)
 	set := scheme.setup(rng.Fork("scheme"), core.Config{})
@@ -119,7 +119,7 @@ func (o Options) runTestbed(lp topo.LeafSpineParams, scheme Scheme, load float64
 	o.drain(eng, o.maxWait(), allFlowsDone2(gen))
 	o.recordPerf(eng)
 
-	var s stats.Sample
+	var s stats.Sketch
 	for _, f := range gen.Flows {
 		if f.Done() {
 			s.Add(f.FCT().Seconds())

@@ -131,7 +131,7 @@ func (o Options) runWCMP(v WCMPVariant) (mean, p99, thinShare float64) {
 	o.drain(eng, o.maxWait(), allFlowsDone2(gen))
 	o.recordPerf(eng)
 
-	var s stats.Sample
+	var s stats.Sketch
 	for _, f := range gen.Flows {
 		if f.Done() {
 			s.Add(f.FCT().Seconds())

@@ -16,9 +16,18 @@ type Histogram struct {
 	Base   float64
 	Factor float64
 
-	counts []int64
-	total  int64
+	counts  []int64
+	total   int64
+	dropped int64
 }
+
+// maxHistogramBuckets bounds the bucket array: a finite-but-huge value (or a
+// Factor set barely above 1) would otherwise compute an index in the
+// billions and allocate until OOM. Observations past the bound land in the
+// last bucket. 2^16 buckets at Factor 2 cover base·2^65536 — far beyond any
+// finite float64 under sane factors, so the clamp only ever fires on
+// degenerate configurations.
+const maxHistogramBuckets = 1 << 16
 
 // NewHistogram creates a histogram with the given first-bucket lower bound
 // and per-bucket growth factor (> 1).
@@ -32,11 +41,39 @@ func NewHistogram(base, factor float64) *Histogram {
 	return &Histogram{Base: base, Factor: factor}
 }
 
-// Add records one observation.
+// base and factor apply NewHistogram's clamps lazily, so a zero-value or
+// hand-initialized Histogram cannot divide by log(1)=0 or log(0).
+func (h *Histogram) base() float64 {
+	if h.Base <= 0 || math.IsNaN(h.Base) || math.IsInf(h.Base, 0) {
+		return 1e-6
+	}
+	return h.Base
+}
+
+func (h *Histogram) factor() float64 {
+	if !(h.Factor > 1) || math.IsInf(h.Factor, 0) {
+		return 2
+	}
+	return h.Factor
+}
+
+// Add records one observation. NaN and ±Inf are dropped (see Dropped): NaN
+// previously landed silently in bucket 0 and +Inf computed an infinite
+// bucket index.
 func (h *Histogram) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.dropped++
+		return
+	}
 	idx := 0
-	if v > h.Base {
-		idx = int(math.Ceil(math.Log(v/h.Base) / math.Log(h.Factor)))
+	if base := h.base(); v > base {
+		idx = int(math.Ceil(math.Log(v/base) / math.Log(h.factor())))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= maxHistogramBuckets {
+			idx = maxHistogramBuckets - 1
+		}
 	}
 	for idx >= len(h.counts) {
 		h.counts = append(h.counts, 0)
@@ -45,24 +82,33 @@ func (h *Histogram) Add(v float64) {
 	h.total++
 }
 
-// Total returns the number of observations.
+// Total returns the number of recorded observations.
 func (h *Histogram) Total() int64 { return h.total }
+
+// Dropped returns the number of non-finite observations rejected by Add.
+func (h *Histogram) Dropped() int64 { return h.dropped }
 
 // Buckets returns (upper bound, count) pairs for non-empty tail-trimmed
 // buckets.
 func (h *Histogram) Buckets() ([]float64, []int64) {
 	ups := make([]float64, len(h.counts))
 	for i := range h.counts {
-		ups[i] = h.Base * math.Pow(h.Factor, float64(i))
+		ups[i] = h.base() * math.Pow(h.factor(), float64(i))
 	}
 	return ups, append([]int64(nil), h.counts...)
 }
 
-// Quantile returns an upper bound for the q-quantile (q in [0,1]) from the
-// bucket boundaries.
+// Quantile returns an upper bound for the q-quantile (q clamped to [0,1];
+// NaN q returns NaN) from the bucket boundaries.
 func (h *Histogram) Quantile(q float64) float64 {
-	if h.total == 0 {
+	if h.total == 0 || math.IsNaN(q) {
 		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	target := int64(math.Ceil(q * float64(h.total)))
 	if target < 1 {
@@ -72,10 +118,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for i, c := range h.counts {
 		cum += c
 		if cum >= target {
-			return h.Base * math.Pow(h.Factor, float64(i))
+			return h.base() * math.Pow(h.factor(), float64(i))
 		}
 	}
-	return h.Base * math.Pow(h.Factor, float64(len(h.counts)-1))
+	return h.base() * math.Pow(h.factor(), float64(len(h.counts)-1))
 }
 
 // Render writes an ASCII bar chart of the histogram, scaled to width.

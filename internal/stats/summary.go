@@ -13,13 +13,15 @@ type Summary struct {
 	N    int     // number of finite replicates
 }
 
-// Summarize reduces replicate values to a Summary. NaN replicates (empty
-// bins, failed points) are skipped; with no finite values both Mean and Std
-// are NaN.
+// Summarize reduces replicate values to a Summary. Non-finite replicates
+// (NaN from empty bins or failed points, ±Inf from overflowed upstream
+// arithmetic) are skipped — a single +Inf would otherwise make Mean
+// infinite and Std NaN, silently poisoning a multi-seed row. With no finite
+// values both Mean and Std are NaN.
 func Summarize(xs []float64) Summary {
 	var s Sample
 	for _, x := range xs {
-		if !math.IsNaN(x) {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
 			s.Add(x)
 		}
 	}

@@ -1,0 +1,16 @@
+# Data-mining flow-size CDF (VL2-style, tail truncated at 100 MB; see
+# workload.DataMiningCDF).
+# Format: <bytes> <cumulative probability>
+100 0
+180 0.10
+250 0.20
+560 0.30
+900 0.40
+1100 0.50
+1870 0.60
+3160 0.70
+10000 0.80
+100000 0.85
+1000000 0.90
+10000000 0.96
+100000000 1.0

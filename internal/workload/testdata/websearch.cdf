@@ -1,0 +1,14 @@
+# Web-search flow-size CDF (DCTCP-style, see workload.WebSearchCDF).
+# Format: <bytes> <cumulative probability>
+1000 0
+6000 0.15
+13000 0.30
+19000 0.40
+33000 0.53
+53000 0.60
+133000 0.70
+667000 0.80
+1333000 0.90
+3333000 0.95
+6667000 0.98
+20000000 1.0

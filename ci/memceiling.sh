@@ -65,3 +65,35 @@ if [ "$big_peak" -gt $((small_peak * 2)) ]; then
 fi
 
 echo "PASS: million-flow production run stays under the ${CEILING_MB} MB ceiling"
+
+# ---- Fluid-engine hyper-scale smoke -----------------------------------
+#
+# The second contract: the fluid engine completes a 10,240-host run — a
+# fabric the packet engine cannot execute at all — inside a small fixed
+# memory ceiling. State is per-flow rate allocations plus dense per-link
+# arrays, not per-packet objects, so the realistic websearch mix at 20%
+# load peaks around 12 MB on the reference box; the ceiling leaves slack
+# for GC/runtime noise, not real growth.
+FLUID_CEILING_MB=64
+GOMEMLIMIT=128MiB "$work/fbsim" -exp production -engine fluid -scale hyper \
+  -schemes ECMP -load 0.2 -flows 50000 -seed 2 -v \
+  >"$work/hyper.txt" 2>"$work/hyper.err"
+hyper_peak=$(sed -n 's/.*peak memory \([0-9][0-9]*\) MB from OS.*/\1/p' "$work/hyper.err")
+if [ -z "$hyper_peak" ]; then
+  echo "FAIL: no peak-memory line in -v output for the hyper-scale fluid run" >&2
+  cat "$work/hyper.err" >&2
+  exit 1
+fi
+echo "peak memory: 10k-host fluid run (50k flows) = ${hyper_peak} MB"
+
+grep -q '50000/50000' "$work/hyper.txt" || {
+  echo "FAIL: hyper-scale fluid run did not complete all flows" >&2
+  grep -m1 'completed' "$work/hyper.txt" >&2 || cat "$work/hyper.txt" >&2
+  exit 1
+}
+if [ "$hyper_peak" -gt "$FLUID_CEILING_MB" ]; then
+  echo "FAIL: hyper-scale fluid peak ${hyper_peak} MB exceeds the ${FLUID_CEILING_MB} MB ceiling" >&2
+  exit 1
+fi
+
+echo "PASS: 10k-host fluid run stays under the ${FLUID_CEILING_MB} MB ceiling"

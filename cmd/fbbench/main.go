@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fbbench [-scale small] [-seed 1] [-v]
+//	fbbench [-scale small] [-engine packet|fluid] [-seed 1] [-v]
 //
 // Benchmark-trajectory modes:
 //
@@ -49,6 +49,7 @@ func main() {
 	var (
 		seed     = flag.Int64("seed", 1, "random seed")
 		scale    = flag.String("scale", "small", "fabric scale: tiny, small, paper")
+		engineF  = flag.String("engine", "packet", "simulation engine for the evaluation run and -json experiment timings: packet or fluid (experiments without a fluid path run packet regardless)")
 		parallel = flag.Int("parallel", 0, "max concurrent simulation points (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
 		shards   = flag.Int("shards", 0, "split each ECMP simulation point across this many engine shards (0/1 = serial; output is identical at any count)")
 		seeds    = flag.Int("seeds", 0, "replicate each point over this many seeds and report mean ± stddev")
@@ -85,14 +86,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fbbench: -checkpoint/-resume apply to the evaluation run, not -json/-compare modes")
 		exit(2)
 	}
+	engine, ok := experiments.EngineByName(*engineF)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "fbbench: engine must be packet or fluid")
+		exit(2)
+	}
 	switch {
 	case *compare:
 		exit(runCompare(*outDir, *baseline, *tol))
 	case *jsonMode:
-		exit(runJSON(*outDir, *scales, *seed, *parallel, *shards))
+		exit(runJSON(*outDir, *scales, *seed, *parallel, *shards, engine))
 	}
 
-	o := experiments.Options{Seed: *seed, Parallelism: *parallel, Shards: *shards, Seeds: *seeds, Watchdog: *watchdog}
+	o := experiments.Options{Seed: *seed, Parallelism: *parallel, Shards: *shards, Seeds: *seeds, Watchdog: *watchdog, Engine: engine}
 	sc, ok := parseScale(*scale)
 	if !ok {
 		fmt.Fprintln(os.Stderr, "fbbench: scale must be tiny, small, or paper")
@@ -103,14 +109,19 @@ func main() {
 		o.Log = os.Stderr
 	}
 
-	mgr, err := checkpoint.FromFlags(*ckptPath, *resumeP, checkpoint.Descriptor{
+	desc := checkpoint.Descriptor{
 		Tool:            "fbbench",
 		Seed:            *seed,
 		Scale:           *scale,
 		Shards:          *shards,
 		Seeds:           *seeds,
 		CheckpointEvery: int64(*ckptEvery),
-	})
+	}
+	// Legacy checkpoints carry no engine tag and mean the packet engine.
+	if engine != experiments.EnginePacket {
+		desc.Extra = "engine=" + engine.String()
+	}
+	mgr, err := checkpoint.FromFlags(*ckptPath, *resumeP, desc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fbbench:", err)
 		exit(2)
@@ -195,12 +206,20 @@ const expRounds = 3
 // shard counts stay affordable on a laptop-class box.
 const shardBenchFlows = 800
 
+// fluidBenchFlows is the flow count of the fluid-engine micro-benchmark: a
+// full tiny-scale all-to-all per op, large enough that solver re-solves (not
+// setup) dominate.
+const fluidBenchFlows = 2000
+
 // runJSON measures the hot-path micro-benchmarks and the wall clock plus
 // simulator throughput of every registered experiment at each requested
-// scale, then writes the snapshot.
-func runJSON(dir, scaleList string, seed int64, parallel, shards int) int {
+// scale, then writes the snapshot. The experiment timings run under the given
+// engine and the snapshot records which, so -compare can refuse cross-engine
+// diffs; the micro-benchmarks are engine-independent and always included.
+func runJSON(dir, scaleList string, seed int64, parallel, shards int, engine experiments.EngineKind) int {
 	snap := benchkit.NewSnapshot(runtime.Version(), seed)
 	snap.Shards = shards
+	snap.Engine = engine.String()
 
 	fmt.Fprintln(os.Stderr, "fbbench: measuring engine_schedule ...")
 	snap.Measure("engine_schedule", benchkit.EngineSchedule)
@@ -208,6 +227,12 @@ func runJSON(dir, scaleList string, seed int64, parallel, shards int) int {
 	snap.Measure("packet_hop", benchkit.PacketHop)
 	fmt.Fprintln(os.Stderr, "fbbench: measuring tcp_transfer_10mb ...")
 	snap.Measure("tcp_transfer_10mb", func(b *testing.B) { benchkit.TCPTransfer(b, 10_000_000) })
+	fmt.Fprintln(os.Stderr, "fbbench: measuring fluid_a2a ...")
+	snap.Measure(fmt.Sprintf("fluid_a2a_%d", fluidBenchFlows),
+		func(b *testing.B) { benchkit.FluidAllToAll(b, fluidBenchFlows) })
+	fmt.Fprintln(os.Stderr, "fbbench: measuring fluid_a2a_flowbender ...")
+	snap.Measure(fmt.Sprintf("fluid_a2a_flowbender_%d", fluidBenchFlows),
+		func(b *testing.B) { benchkit.FluidAllToAllFlowBender(b, fluidBenchFlows) })
 
 	for _, sc := range strings.Split(scaleList, ",") {
 		sc = strings.TrimSpace(sc)
@@ -227,7 +252,7 @@ func runJSON(dir, scaleList string, seed int64, parallel, shards int) int {
 			// wall clock is hostage to whatever else the machine is doing.
 			for round := 0; round < expRounds; round++ {
 				var perf experiments.PerfStats
-				o := experiments.Options{Seed: seed, Scale: level, Parallelism: parallel, Shards: shards, Perf: &perf}
+				o := experiments.Options{Seed: seed, Scale: level, Parallelism: parallel, Shards: shards, Perf: &perf, Engine: engine}
 				start := time.Now()
 				e.Run(o)
 				wall := time.Since(start)
@@ -240,11 +265,16 @@ func runJSON(dir, scaleList string, seed int64, parallel, shards int) int {
 	}
 
 	// Paper-scale sharded-engine benchmark: the same 128-server all-to-all
-	// point, serial and split four ways. The shards-4/shards-1 wall-clock
-	// ratio is the conservative-parallel engine's headline speedup (it only
-	// materializes on a multi-core box — see the snapshot's gomaxprocs/cpu
-	// metadata for what this run actually had).
-	for _, s := range []int{1, 4} {
+	// point, serial and split four and eight ways. The shards-N/shards-1
+	// wall-clock ratio is the conservative-parallel engine's headline speedup
+	// (it only materializes on a multi-core box — see the snapshot's
+	// gomaxprocs/cpu metadata for what this run actually had). Sharding is a
+	// packet-engine mechanism, so a fluid snapshot skips the sweep.
+	shardCounts := []int{1, 4, 8}
+	if engine != experiments.EnginePacket {
+		shardCounts = nil
+	}
+	for _, s := range shardCounts {
 		fmt.Fprintf(os.Stderr, "fbbench: timing paper all-to-all at shards=%d ...\n", s)
 		prefix := fmt.Sprintf("exp_paper_a2a_ecmp_shards%d", s)
 		for round := 0; round < expRounds; round++ {

@@ -36,7 +36,8 @@ func main() {
 		exp      = flag.String("exp", "", "experiment name (see -list)")
 		list     = flag.Bool("list", false, "list available experiments")
 		seed     = flag.Int64("seed", 1, "random seed")
-		scale    = flag.String("scale", "small", "fabric scale: tiny, small, paper")
+		scale    = flag.String("scale", "small", "fabric scale: tiny, small, paper, or hyper (10k hosts; -engine fluid only)")
+		engineF  = flag.String("engine", "packet", "simulation engine: packet (per-packet, reference fidelity) or fluid (flow-level fast path; honored by alltoall, table1, production, and fidelity — other experiments keep the packet engine)")
 		flows    = flag.Int("flows", 0, "override per-run flow count")
 		jobs     = flag.Int("jobs", 0, "override partition-aggregate job count")
 		parallel = flag.Int("parallel", 0, "max concurrent simulation points (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
@@ -184,8 +185,22 @@ func main() {
 		o.Scale = experiments.ScaleSmall
 	case "paper":
 		o.Scale = experiments.ScalePaper
+	case "hyper":
+		o.Scale = experiments.ScaleHyper
 	default:
 		fmt.Fprintf(os.Stderr, "fbsim: unknown scale %q\n", *scale)
+		exit(2)
+	}
+	engine, ok := experiments.EngineByName(*engineF)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fbsim: unknown engine %q (want packet or fluid)\n", *engineF)
+		exit(2)
+	}
+	o.Engine = engine
+	if o.Scale == experiments.ScaleHyper && engine != experiments.EngineFluid {
+		// A 10k-host packet run would need days and tens of GB; refuse
+		// rather than wedge.
+		fmt.Fprintln(os.Stderr, "fbsim: -scale hyper requires -engine fluid")
 		exit(2)
 	}
 	if *verb {
@@ -209,6 +224,11 @@ func main() {
 		CheckpointEvery: int64(*ckptEvery),
 	}
 	var extra []string
+	if engine != experiments.EnginePacket {
+		// The engine is part of the run's identity (legacy checkpoints carry
+		// no engine tag and are all packet runs, so the default stays out).
+		extra = append(extra, "engine="+engine.String())
+	}
 	if *faultSel != "" || *cdfPath != "" {
 		extra = append(extra, fmt.Sprintf("faults=%s cdf=%s", *faultSel, *cdfPath))
 	}

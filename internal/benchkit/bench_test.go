@@ -16,6 +16,11 @@ func BenchmarkPacketHop(b *testing.B)       { PacketHop(b) }
 func BenchmarkTCPTransfer1MB(b *testing.B)  { TCPTransfer(b, 1_000_000) }
 func BenchmarkTCPTransfer10MB(b *testing.B) { TCPTransfer(b, 10_000_000) }
 
+// Fluid-engine throughput: one op is a full all-to-all run; the headline
+// extras are flows/sec and allocs/op (the fluid engine's per-run footprint).
+func BenchmarkFluidAllToAll(b *testing.B)           { FluidAllToAll(b, 2000) }
+func BenchmarkFluidAllToAllFlowBender(b *testing.B) { FluidAllToAllFlowBender(b, 2000) }
+
 // benchSwitch builds an 8-port switch with an 8-way ECMP route for every
 // destination, mirroring a core switch's forwarding state.
 func benchSwitch() (*netsim.Switch, *netsim.Packet) {

@@ -1,0 +1,86 @@
+package benchkit
+
+import (
+	"testing"
+
+	"flowbender/internal/core"
+	"flowbender/internal/fluid"
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+	"flowbender/internal/topo"
+	"flowbender/internal/workload"
+)
+
+// fluidBenchLoad is the offered load of the fluid benchmark workload, matched
+// to the fidelity matrix's default so the benchmarked regime is the validated
+// one.
+const fluidBenchLoad = 0.4
+
+// fluidArrivals pre-draws one deterministic all-to-all schedule on the tiny
+// fat-tree. Drawing happens outside the benchmark timer so every op replays
+// the identical workload and the measurement is pure engine cost.
+func fluidArrivals(p topo.Params, flows int) []workload.ArrivalIdx {
+	cdf := workload.WebSearchCDF()
+	gen := &workload.AllToAll{
+		RNG:      sim.NewRNG(1).Fork("workload"),
+		NumHosts: p.NumHosts(),
+		CDF:      cdf,
+		MeanInterarrival: workload.AggregateInterarrival(
+			fluidBenchLoad, p.BisectionBps(), p.InterPodFraction(), cdf.Mean()),
+	}
+	return gen.PredrawIdx(flows)
+}
+
+// FluidAllToAll measures the fluid engine end to end: one op is a complete
+// all-to-all run of `flows` transfers on the tiny fat-tree — arrivals, rate
+// reallocations, slow-start rounds, completions. The headline extra metric is
+// "flows/sec", the fluid engine's composite throughput (the analogue of the
+// packet engine's exp_*_flows_per_sec, measured per-engine so the two are
+// never confused in a snapshot diff).
+func FluidAllToAll(b *testing.B, flows int) {
+	p := topo.TinyScale()
+	arrivals := fluidArrivals(p, flows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runFluidOnce(b, fluid.Config{Params: p}, arrivals)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(flows)/b.Elapsed().Seconds(), "flows/sec")
+}
+
+// FluidAllToAllFlowBender is FluidAllToAll with a FlowBender controller on
+// every flow: the epoch ticks, marking estimates, and reroute-triggered
+// re-solves are the fluid engine's most expensive steady-state work, so this
+// is the upper bound on per-flow cost.
+func FluidAllToAllFlowBender(b *testing.B, flows int) {
+	p := topo.TinyScale()
+	arrivals := fluidArrivals(p, flows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := fluid.Config{
+			Params:     p,
+			FlowBender: &core.Config{T: 0.05, N: 1, RNG: sim.NewRNG(99)},
+		}
+		runFluidOnce(b, cfg, arrivals)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(flows)/b.Elapsed().Seconds(), "flows/sec")
+}
+
+// runFluidOnce builds a fresh fluid simulation, replays the pre-drawn
+// schedule, and drains it to completion.
+func runFluidOnce(b *testing.B, cfg fluid.Config, arrivals []workload.ArrivalIdx) {
+	eng := sim.NewEngine()
+	fs := fluid.NewSim(eng, cfg)
+	for j := range arrivals {
+		a := arrivals[j]
+		id := netsim.FlowID(j + 1)
+		eng.At(a.At, func() { fs.Arrive(id, a.Src, a.Dst, a.Size, 0) })
+	}
+	eng.RunUntilIdle()
+	if fs.Completed != int64(len(arrivals)) {
+		b.Fatalf("fluid run incomplete: %d of %d flows", fs.Completed, len(arrivals))
+	}
+}

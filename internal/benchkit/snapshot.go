@@ -35,6 +35,13 @@ type Snapshot struct {
 	Shards int    `json:"shards,omitempty"`
 	Procs  int    `json:"gomaxprocs,omitempty"`
 	CPU    string `json:"cpu,omitempty"`
+	// Engine names the simulation engine the exp_* wall-clock metrics were
+	// measured with ("packet" or "fluid"). Both engines emit the same metric
+	// names for the same experiments, so a cross-engine diff would compare
+	// two different simulators — not a code change — and Comparable refuses
+	// it outright. Snapshots written before this field existed carry "" and
+	// mean the packet engine.
+	Engine string `json:"engine,omitempty"`
 	// Metrics maps metric name -> value. Conventions:
 	//   engine_schedule_ns_op / _allocs_op       per-event scheduler cost
 	//   packet_hop_ns / packet_hop_allocs        per switch-hop fabric cost
@@ -42,6 +49,8 @@ type Snapshot struct {
 	//   exp_<name>_<scale>_wall_ms               one experiment run's wall clock
 	//   exp_<name>_<scale>_events_per_sec        engine events per wall second
 	//   exp_<name>_<scale>_simsec_per_wallsec    simulated s per wall second
+	//   exp_<name>_<scale>_flows_per_sec         completed flows per wall second
+	//   fluid_a2a_<flows>_flows_per_sec          fluid-engine all-to-all throughput
 	Metrics map[string]float64 `json:"metrics"`
 }
 
@@ -82,6 +91,12 @@ func CPUModel() string {
 // and CPU model must all match. Legacy snapshots with no recorded
 // configuration are accepted as-is — there is nothing to check against.
 func Comparable(old, new *Snapshot) error {
+	// Engine identity is checked even against legacy snapshots: a legacy
+	// snapshot is by definition a packet-engine measurement, and a fluid
+	// snapshot's exp_* metrics describe a different simulator entirely.
+	if eo, en := engineName(old.Engine), engineName(new.Engine); eo != en {
+		return fmt.Errorf("benchkit: snapshots measure different engines (%s vs %s); their experiment metrics share names but describe different simulators — re-measure with -engine %s or pick a matching -baseline", eo, en, eo)
+	}
 	if old.Shards == 0 && old.Procs == 0 && old.CPU == "" {
 		return nil
 	}
@@ -173,6 +188,40 @@ func higherIsBetter(name string) bool {
 	return strings.HasSuffix(name, "_per_sec") || strings.HasSuffix(name, "_per_wallsec")
 }
 
+// engineName normalizes a snapshot's engine label: snapshots written before
+// the Engine field existed are packet-engine measurements.
+func engineName(e string) string {
+	if e == "" {
+		return "packet"
+	}
+	return e
+}
+
+// UnitOf maps a metric name to its display unit by suffix convention, so
+// -compare output reads as measurements rather than bare numbers. Unknown
+// suffixes get no unit.
+func UnitOf(name string) string {
+	switch {
+	case strings.HasSuffix(name, "_flows_per_sec"):
+		return " flows/s"
+	case strings.HasSuffix(name, "_events_per_sec"):
+		return " events/s"
+	case strings.HasSuffix(name, "_simsec_per_wallsec"):
+		return " sim-s/s"
+	case strings.HasSuffix(name, "_wall_ms"), strings.HasSuffix(name, "_ms"):
+		return " ms"
+	case strings.HasSuffix(name, "_ns_op"):
+		return " ns/op"
+	case strings.HasSuffix(name, "_allocs_op"):
+		return " allocs/op"
+	case strings.HasSuffix(name, "_ns_per_hop"):
+		return " ns/hop"
+	case strings.HasSuffix(name, "_allocs_per_hop"):
+		return " allocs/hop"
+	}
+	return ""
+}
+
 // Regression is one headline metric that got worse past the tolerance.
 type Regression struct {
 	Metric   string
@@ -180,7 +229,8 @@ type Regression struct {
 }
 
 func (r Regression) String() string {
-	return fmt.Sprintf("%s: %.4g -> %.4g (%+.1f%%)", r.Metric, r.Old, r.New, 100*(r.New-r.Old)/nonzero(r.Old))
+	unit := UnitOf(r.Metric)
+	return fmt.Sprintf("%s: %.4g%s -> %.4g%s (%+.1f%%)", r.Metric, r.Old, unit, r.New, unit, 100*(r.New-r.Old)/nonzero(r.Old))
 }
 
 func nonzero(v float64) float64 {

@@ -148,6 +148,50 @@ func TestComparable(t *testing.T) {
 	}
 }
 
+func TestComparableRefusesCrossEngine(t *testing.T) {
+	packet := &Snapshot{Shards: 1, Procs: 1, CPU: "box", Engine: "packet"}
+	fluid := &Snapshot{Shards: 1, Procs: 1, CPU: "box", Engine: "fluid"}
+	if err := Comparable(packet, fluid); err == nil || !strings.Contains(err.Error(), "engine") {
+		t.Errorf("packet vs fluid: got %v, want engine refusal", err)
+	}
+	// A legacy snapshot (no engine field, no config) is a packet measurement:
+	// it still refuses a fluid counterpart even though the config check is
+	// skipped, and still accepts an explicit packet one.
+	if err := Comparable(&Snapshot{}, fluid); err == nil || !strings.Contains(err.Error(), "engine") {
+		t.Errorf("legacy vs fluid: got %v, want engine refusal", err)
+	}
+	if err := Comparable(&Snapshot{}, packet); err != nil {
+		t.Errorf("legacy vs packet: got %v, want nil", err)
+	}
+	if err := Comparable(fluid, fluid); err != nil {
+		t.Errorf("fluid vs fluid: got %v, want nil", err)
+	}
+}
+
+func TestRegressionStringUnits(t *testing.T) {
+	cases := []struct {
+		metric string
+		want   string
+	}{
+		{"exp_production_tiny_flows_per_sec", "flows/s"},
+		{"exp_alltoall_tiny_events_per_sec", "events/s"},
+		{"exp_alltoall_tiny_wall_ms", "ms"},
+		{"engine_schedule_ns_op", "ns/op"},
+		{"fluid_a2a_2000_flows_per_sec", "flows/s"},
+	}
+	for _, tc := range cases {
+		got := Regression{Metric: tc.metric, Old: 100, New: 50}.String()
+		if !strings.Contains(got, tc.want) {
+			t.Errorf("Regression.String(%s) = %q, want it to carry unit %q", tc.metric, got, tc.want)
+		}
+	}
+	// Units appear on both the old and new value.
+	s := Regression{Metric: "exp_a_tiny_flows_per_sec", Old: 200, New: 100}.String()
+	if strings.Count(s, " flows/s") != 2 {
+		t.Errorf("Regression.String = %q, want the unit on both values", s)
+	}
+}
+
 func TestCPUModelNonEmpty(t *testing.T) {
 	if CPUModel() == "" {
 		t.Error("CPUModel returned an empty string")

@@ -178,6 +178,25 @@ func (fb *FlowBender) OnRTTEnd() bool {
 	}
 	f := float64(fb.marked) / float64(fb.total)
 	fb.marked, fb.total = 0, 0
+	return fb.closeEpoch(f)
+}
+
+// OnEpochF closes one RTT epoch with an externally estimated marked-ACK
+// fraction f, applying exactly the §3.4.1 decision rule OnRTTEnd applies to
+// the counted fraction. The fluid engine drives it: there is no per-ACK
+// stream at flow-level fidelity, so f comes from the M/M/1-style marking
+// model over the flow's path utilization. Unlike OnRTTEnd, every call
+// counts as an observed epoch (the estimate always carries information).
+// Any ACK counts accumulated via OnAck are discarded.
+func (fb *FlowBender) OnEpochF(f float64) bool {
+	fb.marked, fb.total = 0, 0
+	return fb.closeEpoch(f)
+}
+
+// closeEpoch is the shared tail of OnRTTEnd/OnEpochF: EWMA smoothing, epoch
+// accounting, the N-consecutive congestion test, the MinEpochGap limiter,
+// and the reroute itself. Returns true when the flow was rerouted.
+func (fb *FlowBender) closeEpoch(f float64) bool {
 	if g := fb.cfg.EWMAGamma; g > 0 {
 		fb.fSmooth = g*f + (1-g)*fb.fSmooth
 		f = fb.fSmooth

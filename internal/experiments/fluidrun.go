@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"math"
+
+	"flowbender/internal/core"
+	"flowbender/internal/fluid"
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+	"flowbender/internal/stats"
+	"flowbender/internal/topo"
+	"flowbender/internal/workload"
+)
+
+// fluidConfig maps a scheme onto the fluid engine's knobs, mirroring
+// Scheme.setupRaw's packet-side configuration decisions (FlowBender's
+// evaluation defaults included) so the two engines run the same policy:
+//
+//   - ECMP, Flowlet, FlowDyn: per-flow hashed paths. The fluid model has no
+//     packet gaps, so flowlet switching degrades to plain ECMP — a
+//     documented fidelity limit, not a wiring accident.
+//   - FlowBender: the real core.FlowBender controller per flow, fed from
+//     the fluid marking estimate once per RTT epoch.
+//   - RPS, DeTail: every flow sprayed over all paths (DeTail's PFC
+//     back-pressure is not modeled; its spray half is).
+//   - RepFlow: short flows replicated, first copy wins.
+//   - DiffFlow: short flows sprayed, long flows on per-flow paths.
+func fluidConfig(p topo.Params, scheme Scheme, fb core.Config, raw bool, rng *sim.RNG) fluid.Config {
+	cfg := fluid.Config{Params: p}
+	switch scheme {
+	case ECMP, Flowlet, FlowDyn:
+	case FlowBender:
+		if fb.RNG == nil {
+			fb.RNG = rng.Fork("flowbender")
+		}
+		if !raw {
+			if fb.MinEpochGap == 0 {
+				fb.MinEpochGap = StabilityGap
+			}
+			if !fb.DesyncN {
+				fb.DesyncN = true
+			}
+		}
+		cfg.FlowBender = &fb
+	case RPS, DeTail:
+		cfg.Spray = true
+		cfg.ShortCutoff = math.MaxInt64
+	case RepFlow:
+		cfg.Replicate = true
+		cfg.ShortCutoff = RepFlowCutoff
+	case DiffFlow:
+		cfg.Spray = true
+		cfg.ShortCutoff = DiffFlowCutoff
+	default:
+		panic("experiments: unknown scheme")
+	}
+	return cfg
+}
+
+// runAllToAllFluid is the fluid-engine body of runAllToAll: the identical
+// workload stream (same RNG forks, same arrival draws, same flow IDs)
+// played into a fluid.Sim instead of a packet fabric. Always serial — one
+// fluid point is orders of magnitude cheaper than its packet twin, so
+// sharding has nothing to win.
+func (o Options) runAllToAllFluid(spec allToAllSpec) *runOutcome {
+	eng := sim.NewEngine()
+	rootRNG := sim.NewRNG(o.Seed)
+	schemeRNG := rootRNG.Fork("scheme")
+
+	p := o.params()
+	if spec.params != nil {
+		p = *spec.params
+	}
+	cfg := fluidConfig(p, spec.scheme, spec.fb, spec.rawFB, schemeRNG)
+
+	cdf := spec.cdf
+	if cdf == nil {
+		cdf = o.CDF
+	}
+	if cdf == nil {
+		cdf = workload.WebSearchCDF()
+	}
+	gen := &workload.AllToAll{
+		RNG:      rootRNG.Fork("workload"),
+		NumHosts: p.NumHosts(),
+		CDF:      cdf,
+		MeanInterarrival: workload.AggregateInterarrival(
+			spec.load, p.BisectionBps(), p.InterPodFraction(), cdf.Mean()),
+	}
+	arrivals := gen.PredrawIdx(spec.flows)
+
+	fs := fluid.NewSim(eng, cfg)
+	out := &runOutcome{}
+	fs.OnDone = func(d fluid.Done) { out.FCT.Add(d.Size, d.FCT.Seconds()) }
+	for i := range arrivals {
+		a := arrivals[i]
+		id := netsim.FlowID(i + 1)
+		eng.At(a.At, func() { fs.Arrive(id, a.Src, a.Dst, a.Size, 0) })
+	}
+
+	total := int64(len(arrivals))
+	o.drain(eng, o.maxWait(), func() bool { return fs.Completed == total })
+	o.recordPerf(eng)
+	o.recordFlows(fs.Completed)
+
+	out.Reroutes = fs.Reroutes
+	out.Incomplete = int(total - fs.Completed)
+	out.SimTime = eng.Now()
+	return out
+}
+
+// runValidationFluid is the fluid-engine body of Table 1's microbenchmark:
+// k simultaneous equal flows from the hosts of ToR 0 / pod 0 to the hosts
+// of ToR 0 / pod 1, same flow-ID stream as the packet path (the IDs feed
+// the port draws feeding the ECMP hashes, so the hash-collision luck being
+// measured is shared).
+func (o Options) runValidationFluid(scheme Scheme, k int, size int64) (meanMs, maxMs float64) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(o.Seed)
+	schemeRNG := rng.Fork("scheme")
+
+	p := o.params()
+	cfg := fluidConfig(p, scheme, core.Config{}, false, schemeRNG)
+	fs := fluid.NewSim(eng, cfg)
+
+	var s stats.Sketch
+	fs.OnDone = func(d fluid.Done) { s.Add(d.FCT.Seconds() * 1000) }
+
+	// Host index (pod, tor, srv) = (pod*Tors+tor)*Servers+srv; the two ToRs
+	// are pod 0 ToR 0 and pod 1 ToR 0, exactly hostsOf's picks.
+	ids := workload.NewIDAllocator(netsim.FlowID(o.Seed * 131))
+	srcBase := int32(0)
+	dstBase := int32(p.TorsPerPod * p.ServersPerTor)
+	for i := 0; i < k; i++ {
+		srv := int32(i % p.ServersPerTor)
+		fs.Arrive(ids.Next(), srcBase+srv, dstBase+srv, size, 0)
+	}
+
+	o.drain(eng, 60*sim.Second, func() bool { return fs.Completed == int64(k) })
+	o.recordPerf(eng)
+	return s.Mean(), s.Max()
+}
+
+// recordFluid is mixOutcome.record for a fluid completion: the same
+// streaming accounting, minus the packet-only counters (the fluid engine
+// has no timeouts, retransmits, or reordering to count).
+func (m *mixOutcome) recordFluid(d fluid.Done) {
+	m.completed++
+	m.kinds[workload.PatternKind(d.UserTag)]++
+	m.rec.add(d.Size, d.FCT.Seconds())
+	m.reroutes += d.Reroutes
+}
+
+// runProductionFluid is the fluid-engine body of runProduction: the same
+// lazily-pulled batch schedule (the Mix draws indices, so the stream is
+// identical with no hosts constructed) through the same beacon chain, with
+// completions recorded from fluid.Done instead of tcp.Flow.
+func (o Options) runProductionFluid(scheme Scheme, cdf workload.CDF, flows int) *mixOutcome {
+	eng := sim.NewEngine()
+	rootRNG := sim.NewRNG(o.Seed)
+	schemeRNG := rootRNG.Fork("scheme")
+
+	p := o.params()
+	cfg := fluidConfig(p, scheme, core.Config{}, false, schemeRNG)
+	fs := fluid.NewSim(eng, cfg)
+
+	mix, deadline := o.newMix(rootRNG.Fork("workload"), nil, p, cdf, flows)
+	out := &mixOutcome{planned: int64(flows), rec: newMixRecorder(o.FullSampleStats)}
+	fs.OnDone = func(d fluid.Done) { out.recordFluid(d) }
+
+	var pending []workload.FlowSpec
+	var beacon func()
+	beacon = func() {
+		spec := pending[0]
+		pending = pending[1:]
+		out.started++
+		fs.Arrive(netsim.FlowID(out.started), spec.SrcIdx, spec.DstIdx, spec.Size, int32(spec.Kind))
+		if len(pending) == 0 {
+			pending = mix.NextBatch()
+		}
+		if len(pending) > 0 {
+			eng.At(pending[0].At, beacon)
+		}
+	}
+	pending = mix.NextBatch()
+	if len(pending) > 0 {
+		beacon()
+	}
+
+	done := func() bool {
+		return mix.Done() && len(pending) == 0 && out.completed == out.started
+	}
+	o.drain(eng, deadline, done)
+	o.recordPerf(eng)
+	o.recordFlows(out.completed)
+	out.simTime = eng.Now()
+	return out
+}

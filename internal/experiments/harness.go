@@ -124,6 +124,12 @@ func (o Options) runAllToAllParams(p topo.Params, scheme Scheme, load float64) *
 // and returns its measurements. The workload RNG stream is independent of
 // the scheme, so every scheme sees the identical arrival sequence.
 func (o Options) runAllToAll(spec allToAllSpec) *runOutcome {
+	// The fluid engine covers the standard all-to-all shape; points with an
+	// injected setup or a restricted sender set (packet-only features) keep
+	// the packet engine regardless of Options.Engine.
+	if o.Engine == EngineFluid && spec.setupFn == nil && spec.srcTor < 0 {
+		return o.runAllToAllFluid(spec)
+	}
 	if out, ok := o.tryRunAllToAllSharded(spec); ok {
 		return out
 	}

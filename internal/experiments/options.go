@@ -24,6 +24,10 @@ const (
 	// ScalePaper is the full §4.2 configuration: 128 servers, 8 paths
 	// between pods, and larger samples.
 	ScalePaper
+	// ScaleHyper is a 10k-host fabric (16 pods × 16 ToRs × 40 servers)
+	// far beyond what the packet engine can execute; it exists for the
+	// fluid engine's scaling runs and refuses to run under EnginePacket.
+	ScaleHyper
 )
 
 func (s ScaleLevel) String() string {
@@ -34,8 +38,45 @@ func (s ScaleLevel) String() string {
 		return "small"
 	case ScalePaper:
 		return "paper"
+	case ScaleHyper:
+		return "hyper"
 	}
 	return "scale?"
+}
+
+// EngineKind selects the simulation fidelity tier experiments run on.
+type EngineKind int
+
+const (
+	// EnginePacket is the discrete-event packet engine (default): per-packet
+	// forwarding, DCTCP marking, retransmission — the reference fidelity.
+	EnginePacket EngineKind = iota
+	// EngineFluid is the flow-level engine (internal/fluid): flows are rate
+	// allocations re-solved on arrival/finish/reroute events. Orders of
+	// magnitude faster; congestion signals are modeled, not emergent. Only
+	// the alltoall, table1, and production experiments support it.
+	EngineFluid
+)
+
+func (e EngineKind) String() string {
+	switch e {
+	case EnginePacket:
+		return "packet"
+	case EngineFluid:
+		return "fluid"
+	}
+	return "engine?"
+}
+
+// EngineByName parses an -engine flag value.
+func EngineByName(name string) (EngineKind, bool) {
+	switch name {
+	case "", "packet":
+		return EnginePacket, true
+	case "fluid":
+		return EngineFluid, true
+	}
+	return EnginePacket, false
 }
 
 // Options configures an experiment run.
@@ -44,6 +85,10 @@ type Options struct {
 	Seed int64
 	// Scale selects fabric size and sample counts.
 	Scale ScaleLevel
+	// Engine selects the simulation fidelity tier (packet or fluid). The
+	// zero value is the packet engine, so existing call sites and
+	// checkpoint descriptors are unchanged.
+	Engine EngineKind
 	// FlowCount overrides the per-run number of workload flows (0 = the
 	// scale's default).
 	FlowCount int
@@ -176,6 +221,8 @@ func (o Options) params() topo.Params {
 		return topo.TinyScale()
 	case ScalePaper:
 		return topo.PaperScale()
+	case ScaleHyper:
+		return topo.HyperScale()
 	default:
 		return topo.SmallScale()
 	}
@@ -190,6 +237,8 @@ func (o Options) flowCount() int {
 		return 200
 	case ScalePaper:
 		return 4000
+	case ScaleHyper:
+		return 100000
 	default:
 		return 1500
 	}
@@ -216,7 +265,7 @@ func (o Options) repeats() int {
 	if o.Seeds > 1 {
 		return o.Seeds
 	}
-	if o.Scale == ScalePaper {
+	if o.Scale >= ScalePaper {
 		return 1
 	}
 	return 3

@@ -69,6 +69,7 @@ func (o Options) newMix(rng *sim.RNG, hosts []*netsim.Host, p topo.Params, cdf w
 	m := &workload.Mix{
 		RNG:         rng,
 		Hosts:       hosts,
+		NumHosts:    p.NumHosts(),
 		CDF:         cdf,
 		IncastFrac:  MixIncastFrac,
 		StorageFrac: MixStorageFrac,
@@ -219,6 +220,9 @@ func (m *mixOutcome) fold(o *mixOutcome) {
 
 // runProduction executes one (scheme) point of the production experiment.
 func (o Options) runProduction(scheme Scheme, cdf workload.CDF, flows int) *mixOutcome {
+	if o.Engine == EngineFluid {
+		return o.runProductionFluid(scheme, cdf, flows)
+	}
 	if out, ok := o.tryRunProductionSharded(scheme, cdf, flows); ok {
 		return out
 	}

@@ -47,6 +47,8 @@ var Registry = []RegistryEntry{
 		func(o Options) Printable { return WCMP(o) }},
 	{"production", "production workloads: empirical size mixes, diurnal arrivals, incast and storage patterns, streaming FCT quantiles",
 		func(o Options) Printable { return ProductionMix(o) }},
+	{"fidelity", "engine cross-validation: packet vs fluid FCT divergence at overlapping scales",
+		func(o Options) Printable { return FidelityMatrix(o) }},
 	{"udpspray", "§3.4.3: burst-level path spraying for unreliable transports",
 		func(o Options) Printable { return UDPSpray(o) }},
 	{"ablations", "§3.4/§5: FlowBender design-option ablations",

@@ -135,6 +135,9 @@ func Table1(o Options) *Table1Result {
 }
 
 func (o Options) runValidation(scheme Scheme, k int, size int64) (meanMs, maxMs float64) {
+	if o.Engine == EngineFluid {
+		return o.runValidationFluid(scheme, k, size)
+	}
 	rng := sim.NewRNG(o.Seed)
 	return o.runValidationSetup(scheme.setup(rng.Fork("scheme"), core.Config{}), k, size)
 }

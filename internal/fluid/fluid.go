@@ -1,0 +1,697 @@
+// Package fluid is the flow-level fast path of the simulator: flows are
+// rate allocations over paths instead of per-packet events. On every flow
+// arrival, finish, pause, or reroute the engine re-solves a progressive
+// max-min fair-share waterfilling over the links the active flows traverse
+// (the standard fluid approximation of per-flow TCP throughput), and
+// advances every flow's residual by its allocated rate between events. A
+// simulation's event count is O(flows), not O(packets) — the fidelity tier
+// that turns the paper's 128 servers into 10k+ hosts at flat wall clock.
+//
+// The model shares everything above the packet layer with the packet
+// engine: internal/topo fabric shapes, internal/workload generators,
+// internal/stats sketches, and — crucially — the exact ECMP hash draws of
+// internal/routing. Path selection reuses routing.PathKeyHash with
+// arithmetically derived switch salts, so a flow lands on the same (agg,
+// core) pair, hash collisions included, as it would in the packet engine.
+//
+// What it models beyond rate shares:
+//
+//   - slow start, as per-RTT doubling transmission budgets with idle gaps
+//     when a window is exhausted before its round-trip closes (mice cost
+//     zero extra events; an elephant costs a handful);
+//   - a streaming window cap (MaxCwnd/RTT) once slow start clears;
+//   - FlowBender rerouting, driven by core.FlowBender.OnEpochF with the
+//     marked-ACK fraction estimated from link utilization via an
+//     M/M/1-style marking model (host NIC egress excluded: that queue is
+//     unbounded and never marks, exactly as in netsim.Host);
+//   - RepFlow replication (two full copies under independent hash draws,
+//     first finisher wins) and short-flow spraying (one session per path
+//     sharing the flow's budget) below the scheme cutoffs;
+//   - queueing latency, as M/M/1 waiting terms clamped at the DCTCP
+//     threshold (switch ports) or the window backlog (host NICs), folded
+//     into each flow's completion tail.
+//
+// What it deliberately does not model: per-packet ECN marks and DCTCP's
+// alpha dynamics, packet loss, retransmission timeouts, reordering, PFC
+// back-pressure, and flowlet gaps (Flowlet/FlowDyn degrade to per-flow
+// ECMP). The packet engine stays ground truth for those; the FidelityMatrix
+// experiment quantifies the residual divergence per scheme.
+package fluid
+
+import (
+	"math"
+
+	"flowbender/internal/core"
+	"flowbender/internal/netsim"
+	"flowbender/internal/routing"
+	"flowbender/internal/sim"
+	"flowbender/internal/tcp"
+	"flowbender/internal/topo"
+)
+
+// Config parameterizes one fluid simulation.
+type Config struct {
+	// Params is the fat-tree shape (shared with the packet engine).
+	Params topo.Params
+
+	// Spray spreads flows below ShortCutoff evenly over every path between
+	// their endpoints (the fluid model of RPS/DeTail/DiffFlow spraying).
+	Spray bool
+	// Replicate runs flows below ShortCutoff as two full copies under
+	// independent hash draws, first finisher wins (RepFlow).
+	Replicate bool
+	// ShortCutoff is the size boundary for Spray/Replicate, in payload
+	// bytes. Use math.MaxInt64 to apply the policy to every flow.
+	ShortCutoff int64
+
+	// FlowBender, when non-nil, attaches a rerouting controller to every
+	// flow, driven from the utilization-based marking estimate once per
+	// global RTT epoch.
+	FlowBender *core.Config
+
+	// Transport constants; zero values take DCTCP's defaults (MSS 1460,
+	// 40-byte headers, initial window 10 segments, 224 KiB max window).
+	MSS          int
+	HeaderBytes  int
+	InitCwndSegs int
+	MaxCwndBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.HeaderBytes == 0 {
+		c.HeaderBytes = netsim.HeaderBytes
+	}
+	if c.InitCwndSegs == 0 {
+		c.InitCwndSegs = 10
+	}
+	if c.MaxCwndBytes == 0 {
+		c.MaxCwndBytes = 224 * 1024
+	}
+	return c
+}
+
+// Done reports one completed flow to the harness.
+type Done struct {
+	ID       netsim.FlowID
+	Size     int64 // payload bytes
+	FCT      sim.Time
+	Reroutes int64 // FlowBender reroutes of this flow
+	UserTag  int32 // opaque value passed to Arrive (workload pattern kind)
+}
+
+// xfer states.
+const (
+	xRun    uint8 = iota // draining at the solved rate
+	xPaused              // slow-start window exhausted, waiting for the RTT edge
+)
+
+// xfer is one transfer in flight: a slow-start budget machine over a pool
+// of residual wire bits, drained through one session per path.
+type xfer struct {
+	group  int32
+	id     netsim.FlowID
+	src    int32
+	dst    int32
+	prefix uint64 // flow-constant ECMP hash prefix
+	tag    uint32 // current path tag (FlowBender's V)
+
+	state      uint8
+	round      int16
+	remain     float64 // wire bits left
+	budget     float64 // wire bits left in the current slow-start round; <0 = streaming
+	roundStart sim.Time
+	rtt        sim.Time // base round-trip of the path class
+	rate       float64  // total allocated rate from the last solve
+
+	fb     *core.FlowBender
+	paths  []pathRef // 1 entry normally; one per path when sprayed
+	resume *sim.Event
+}
+
+// group is the completion unit the harness observes: one per Arrive call,
+// covering both copies of a replicated flow.
+type group struct {
+	id      netsim.FlowID
+	size    int64
+	userTag int32
+	arrive  sim.Time
+	done    bool
+	members [2]int32
+	nMember int8
+}
+
+// Sim is one fluid simulation, hosted on a sim.Engine so checkpointing,
+// drain loops, and throughput accounting work exactly as for the packet
+// engine.
+type Sim struct {
+	// OnDone receives every completed flow, at its completion instant.
+	OnDone func(Done)
+	// Completed counts flows delivered so far.
+	Completed int64
+	// Reroutes accumulates FlowBender reroutes across completed flows.
+	Reroutes int64
+
+	eng *sim.Engine
+	cfg Config
+	net *Net
+
+	xfers  []xfer
+	freeX  []int32
+	groups []group
+	freeG  []int32
+	active []int32 // live xfer indices; swap-remove, deterministic order
+
+	wf         waterfiller
+	dirty      bool
+	lastSettle sim.Time
+	wake       *sim.Event
+	wakeAt     sim.Time
+	epochEv    *sim.Event
+	nFB        int
+
+	// Standing-queue tracking (see computeQueues): markStamp[l] == markGen
+	// when link l holds a standing queue under the last solve.
+	markStamp   []uint32
+	markGen     uint32
+	queuesValid bool
+
+	segWire     float64 // wire bits of one full segment
+	ackWire     float64 // wire bits of one bare ACK
+	maxCwndWire float64 // wire bits of a full MaxCwnd window
+	rttEpoch    sim.Time
+}
+
+// NewSim builds a fluid simulation on eng.
+func NewSim(eng *sim.Engine, cfg Config) *Sim {
+	cfg = cfg.withDefaults()
+	s := &Sim{eng: eng, cfg: cfg, net: NewNet(cfg.Params)}
+	wirePkt := float64(cfg.MSS + cfg.HeaderBytes)
+	s.segWire = wirePkt * 8
+	s.ackWire = float64(cfg.HeaderBytes) * 8
+	s.maxCwndWire = float64(cfg.MaxCwndBytes) / float64(cfg.MSS) * s.segWire
+	s.markStamp = make([]uint32, s.net.nLinks)
+	s.rttEpoch = s.pathRTT(maxPathLinks)
+	return s
+}
+
+// Engine returns the hosting event engine.
+func (s *Sim) Engine() *sim.Engine { return s.eng }
+
+// ActiveFlows returns the number of transfers currently in flight.
+func (s *Sim) ActiveFlows() int { return len(s.active) }
+
+// wireBits returns the on-the-wire size of a payload in bits: every MSS of
+// payload carries one header, exactly as the packet engine frames it.
+func (s *Sim) wireBits(size int64) float64 {
+	segs := (size + int64(s.cfg.MSS) - 1) / int64(s.cfg.MSS)
+	if segs < 1 {
+		segs = 1
+	}
+	return float64(size+segs*int64(s.cfg.HeaderBytes)) * 8
+}
+
+// ssBudget returns the slow-start transmission budget of round r in wire
+// bits (the initial window doubling each round-trip).
+func (s *Sim) ssBudget(r int16) float64 {
+	if r >= 30 {
+		return s.maxCwndWire
+	}
+	return float64(s.cfg.InitCwndSegs) * s.segWire * float64(int64(1)<<uint(r))
+}
+
+// pathRTT returns the unloaded round-trip of a path with nl links: host and
+// switch delays both ways plus one full segment serializing at every hop
+// forward and one ACK back.
+func (s *Sim) pathRTT(nl int8) sim.Time {
+	ow := s.net.owBase(nl)
+	var ser float64
+	for i := 0; i < int(nl); i++ {
+		ser += (s.segWire + s.ackWire) / float64(s.cfg.Params.LinkRateBps)
+	}
+	return 2*ow + sim.Time(ser*float64(sim.Second))
+}
+
+// Arrive starts one flow at the engine's current instant. src and dst are
+// host indices (identical to netsim.NodeID for hosts). userTag is echoed in
+// the Done record.
+func (s *Sim) Arrive(id netsim.FlowID, src, dst int32, size int64, userTag int32) {
+	s.settle()
+	gi := s.allocGroup()
+	g := &s.groups[gi]
+	*g = group{id: id, size: size, userTag: userTag, arrive: s.eng.Now()}
+
+	replicate := s.cfg.Replicate && size < s.cfg.ShortCutoff
+	s.addXfer(gi, id, src, dst, size)
+	if replicate {
+		s.addXfer(gi, tcp.ReplicaID(id), src, dst, size)
+	}
+	s.dirty = true
+	s.sweep()
+	s.solveRetarget()
+	if s.nFB > 0 && s.epochEv == nil {
+		s.epochEv = s.eng.Schedule(s.rttEpoch, s.epochTick)
+	}
+}
+
+// addXfer creates one transfer of a group and activates it.
+func (s *Sim) addXfer(gi int32, id netsim.FlowID, src, dst int32, size int64) {
+	xi := s.allocXfer()
+	x := &s.xfers[xi]
+	paths := x.paths[:0]
+	*x = xfer{group: gi, id: id, src: src, dst: dst, state: xRun, roundStart: s.eng.Now()}
+
+	srcPort, dstPort := tcp.PortsFor(id)
+	x.prefix = FlowPrefix(src, dst, srcPort, dstPort)
+	if s.cfg.FlowBender != nil {
+		fbc := *s.cfg.FlowBender
+		x.fb = core.New(fbc)
+		x.tag = x.fb.PathTag()
+		s.nFB++
+	}
+	if s.cfg.Spray && size < s.cfg.ShortCutoff {
+		x.paths = s.net.sprayPaths(paths, src, dst)
+	} else {
+		var pr pathRef
+		s.net.singlePath(&pr, x.prefix, x.tag, src, dst)
+		x.paths = append(paths, pr)
+	}
+	x.rtt = s.pathRTT(x.paths[0].n)
+	x.remain = s.wireBits(size)
+	x.budget = s.ssBudget(0)
+	if x.budget >= s.maxCwndWire {
+		x.budget = -1
+	}
+
+	g := &s.groups[gi]
+	g.members[g.nMember] = xi
+	g.nMember++
+	s.active = append(s.active, xi)
+}
+
+// FlowPrefix returns the flow-constant ECMP hash prefix of a TCP flow
+// between two hosts — the same value the packet engine's sender stamps into
+// every data packet of the flow (host NodeIDs equal host indices).
+func FlowPrefix(src, dst int32, srcPort, dstPort uint16) uint64 {
+	return routing.FlowHashPrefix(netsim.NodeID(src), netsim.NodeID(dst), srcPort, dstPort, netsim.ProtoTCP)
+}
+
+// settle advances every running transfer's residuals by its allocated rate
+// over the time since the last settle point. Rates are constant between
+// solver events, so this is exact.
+func (s *Sim) settle() {
+	now := s.eng.Now()
+	dt := (now - s.lastSettle).Seconds()
+	s.lastSettle = now
+	if dt <= 0 {
+		return
+	}
+	for _, xi := range s.active {
+		x := &s.xfers[xi]
+		if x.state != xRun || x.rate <= 0 {
+			continue
+		}
+		used := x.rate * dt
+		x.remain -= used
+		if x.budget >= 0 {
+			// Clamp: a finite budget must not cross into the negative range
+			// that encodes "streaming" (slow start done).
+			if x.budget -= used; x.budget < 0 {
+				x.budget = 0
+			}
+		}
+	}
+}
+
+// residual tolerance, in wire bits: ETAs are ceiled to the next nanosecond,
+// so a crossing leaves at most rate*1ns ≈ tens of bits of float slack.
+const doneEps = 0.5
+
+// sweep processes every threshold crossed at the current instant:
+// completions first (they can retire sibling transfers), then slow-start
+// round edges.
+func (s *Sim) sweep() {
+	for changed := true; changed; {
+		changed = false
+		for _, xi := range s.active {
+			x := &s.xfers[xi]
+			if x.state == xRun && x.remain <= doneEps {
+				s.finish(xi)
+				changed = true
+				break
+			}
+		}
+	}
+	now := s.eng.Now()
+	for _, xi := range s.active {
+		x := &s.xfers[xi]
+		if x.state != xRun || x.budget < 0 || x.budget > doneEps || x.remain <= doneEps {
+			continue
+		}
+		// Window exhausted. If the round-trip edge already passed, the ACKs
+		// are back: open the next round in place. Otherwise idle until the
+		// edge.
+		if now >= x.roundStart+x.rtt {
+			s.advanceRound(x)
+		} else {
+			x.state = xPaused
+			xi := xi
+			x.resume = s.eng.At(x.roundStart+x.rtt, func() { s.onResume(xi) })
+		}
+		s.dirty = true
+	}
+}
+
+// advanceRound opens transfer x's next slow-start round at the current
+// instant, switching to streaming mode once the window reaches MaxCwnd.
+func (s *Sim) advanceRound(x *xfer) {
+	x.round++
+	b := s.ssBudget(x.round)
+	if b >= s.maxCwndWire {
+		x.budget = -1
+	} else {
+		x.budget = b
+	}
+	x.roundStart = s.eng.Now()
+}
+
+func (s *Sim) onResume(xi int32) {
+	x := &s.xfers[xi]
+	x.resume = nil
+	s.settle()
+	x.state = xRun
+	s.advanceRound(x)
+	s.dirty = true
+	s.sweep()
+	s.solveRetarget()
+}
+
+// finish retires the group of transfer xi: the first finisher defines the
+// flow's completion (RepFlow's first-copy-wins), every member is removed.
+func (s *Sim) finish(xi int32) {
+	x := &s.xfers[xi]
+	gi := x.group
+	g := &s.groups[gi]
+	if !g.done {
+		g.done = true
+		var reroutes int64
+		for m := int8(0); m < g.nMember; m++ {
+			if fb := s.xfers[g.members[m]].fb; fb != nil {
+				reroutes += fb.Stats().Reroutes
+			}
+		}
+		fct := s.eng.Now() + s.tail(x) - g.arrive
+		s.Completed++
+		s.Reroutes += reroutes
+		if s.OnDone != nil {
+			s.OnDone(Done{ID: g.id, Size: g.size, FCT: fct, Reroutes: reroutes, UserTag: g.userTag})
+		}
+	}
+	for m := int8(0); m < g.nMember; m++ {
+		s.removeXfer(g.members[m])
+	}
+	s.freeG = append(s.freeG, gi)
+	s.dirty = true
+}
+
+// removeXfer deactivates one transfer and recycles its slot.
+func (s *Sim) removeXfer(xi int32) {
+	x := &s.xfers[xi]
+	if x.resume != nil {
+		s.eng.Cancel(x.resume)
+		x.resume = nil
+	}
+	if x.fb != nil {
+		s.nFB--
+		x.fb = nil
+	}
+	for i, a := range s.active {
+		if a == xi {
+			s.active[i] = s.active[len(s.active)-1]
+			s.active = s.active[:len(s.active)-1]
+			break
+		}
+	}
+	s.freeX = append(s.freeX, xi)
+}
+
+// solveRetarget re-solves the rate allocation if the active set changed and
+// re-aims the wake event at the earliest next threshold crossing.
+func (s *Sim) solveRetarget() {
+	if s.dirty {
+		s.solve()
+		s.dirty = false
+	}
+	s.retarget()
+}
+
+// solve runs the waterfiller over the active transfers: one session per
+// path, capped at the streaming window rate (split evenly over a sprayed
+// flow's paths) once slow start is done.
+func (s *Sim) solve() {
+	w := &s.wf
+	w.begin(s.net.caps)
+	for _, xi := range s.active {
+		x := &s.xfers[xi]
+		if x.state != xRun {
+			continue
+		}
+		cap := math.Inf(1)
+		if x.budget < 0 {
+			cap = s.maxCwndWire / x.rtt.Seconds() / float64(len(x.paths))
+		}
+		for pi := range x.paths {
+			p := &x.paths[pi]
+			w.add(p.links[:p.n], cap)
+		}
+	}
+	w.solve()
+	s.queuesValid = false
+	k := 0
+	for _, xi := range s.active {
+		x := &s.xfers[xi]
+		if x.state != xRun {
+			continue
+		}
+		var r float64
+		for range x.paths {
+			r += w.rate[k]
+			k++
+		}
+		x.rate = r
+	}
+}
+
+// retarget re-aims the single wake event at the earliest completion or
+// budget-exhaustion instant among the running transfers.
+func (s *Sim) retarget() {
+	now := s.eng.Now()
+	best := sim.Time(math.MaxInt64)
+	for _, xi := range s.active {
+		x := &s.xfers[xi]
+		if x.state != xRun || x.rate <= 0 {
+			continue
+		}
+		b := x.remain
+		if x.budget >= 0 && x.budget < b {
+			b = x.budget
+		}
+		var eta sim.Time
+		if b <= doneEps {
+			eta = now + 1
+		} else {
+			eta = now + sim.Time(math.Ceil(b/x.rate*float64(sim.Second)))
+			if eta <= now {
+				eta = now + 1
+			}
+		}
+		if eta < best {
+			best = eta
+		}
+	}
+	if best == sim.Time(math.MaxInt64) {
+		if s.wake != nil {
+			s.eng.Cancel(s.wake)
+			s.wake = nil
+		}
+		return
+	}
+	if s.wake != nil {
+		if s.wakeAt == best {
+			return
+		}
+		s.eng.Cancel(s.wake)
+	}
+	s.wakeAt = best
+	s.wake = s.eng.At(best, s.onWake)
+}
+
+func (s *Sim) onWake() {
+	s.wake = nil
+	s.settle()
+	s.sweep()
+	s.solveRetarget()
+}
+
+// epochTick closes one global RTT epoch for every FlowBender-controlled
+// transfer: the marked-ACK fraction is estimated from the current path
+// utilization and fed to the controller; reroutes re-draw the path with the
+// new tag, exactly as the packet transport re-stamps V.
+func (s *Sim) epochTick() {
+	s.epochEv = nil
+	if s.nFB == 0 {
+		return
+	}
+	s.settle()
+	s.sweep()
+	for _, xi := range s.active {
+		x := &s.xfers[xi]
+		if x.fb == nil || x.state != xRun {
+			continue
+		}
+		if x.fb.OnEpochF(s.pathF(x)) {
+			x.tag = x.fb.PathTag()
+			s.net.singlePath(&x.paths[0], x.prefix, x.tag, x.src, x.dst)
+			s.dirty = true
+		}
+	}
+	s.solveRetarget()
+	if s.nFB > 0 {
+		s.epochEv = s.eng.Schedule(s.rttEpoch, s.epochTick)
+	}
+}
+
+// satThresh is the utilization at which a link counts as saturated. The
+// solver's freezing levels put bottlenecked links numerically at 1, so this
+// only needs to reject genuinely-below-capacity links.
+const satThresh = 0.999
+
+// computeQueues locates the standing queues under the last-solved rates.
+// A windowed sender's congestion control (DCTCP here) builds a persistent
+// queue at its flow's *first saturated link* — upstream links pace the flow
+// below their capacity, so queues cannot stand anywhere else. When that
+// link is the sender's own NIC the queue is invisible to the fabric (the
+// NIC queue is unbounded and unmarked, and its delay is already covered by
+// the flow's drain rate). When it is a switch egress port, DCTCP pins the
+// queue's occupancy near the marking threshold K: every flow crossing the
+// link sees marked ACKs and an extra ~K of queueing delay.
+//
+// This "first saturated link" rule is what distinguishes true contention
+// from coincidental full utilization: two access-limited flows sharing one
+// exactly-full ToR uplink saturate it without queueing (their first
+// saturated link is their own NIC), while three flows squeezed below
+// access rate by that uplink make it their first saturated link and mark.
+func (s *Sim) computeQueues() {
+	if s.queuesValid {
+		return
+	}
+	s.queuesValid = true
+	s.markGen++
+	for _, xi := range s.active {
+		x := &s.xfers[xi]
+		if x.state != xRun {
+			continue
+		}
+		for pi := range x.paths {
+			p := &x.paths[pi]
+			for i := int8(0); i < p.n; i++ {
+				l := p.links[i]
+				if s.wf.util(l) >= satThresh {
+					if s.net.marking[l] {
+						s.markStamp[l] = s.markGen
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+// queued reports whether link l holds a standing queue under the last solve.
+func (s *Sim) queued(l int32) bool { return s.markStamp[l] == s.markGen }
+
+// pathF estimates FlowBender's congestion signal — the fraction of the
+// epoch's ACKs carrying ECN marks — over a transfer's current path: 1 when
+// the path crosses a standing queue (DCTCP marks nearly every packet
+// passing an occupancy pinned at K, far above any reasonable threshold T),
+// else 0. The fluid model has no transient sub-threshold marking; the
+// fidelity harness quantifies what that smoothing costs.
+func (s *Sim) pathF(x *xfer) float64 {
+	s.computeQueues()
+	p := &x.paths[0]
+	for i := int8(0); i < p.n; i++ {
+		if s.queued(p.links[i]) {
+			return 1
+		}
+	}
+	return 0
+}
+
+// tail returns the latency between a transfer's last bit leaving the sender
+// and its delivery: the constant one-way base, per-hop store-and-forward of
+// the final packet past the first link (whose serialization the drain rate
+// already covers), and ~K/2 of waiting at every standing queue on the path
+// — DCTCP's marking makes the occupancy oscillate between the threshold and
+// the post-backoff trough, so the time-average a transiting packet waits
+// behind is about half of K, not K itself. A sprayed transfer completes
+// when its last packet lands, and that packet rides whichever path is
+// slowest, so the tail is the worst path's, not the first's (this is the
+// fluid image of the reordering penalty sprayed short flows pay in the
+// packet engine).
+func (s *Sim) tail(x *xfer) sim.Time {
+	s.computeQueues()
+	last := s.lastPktBits(x)
+	kBits := float64(8*s.cfg.Params.MarkK) / 2
+	var worst sim.Time
+	for pi := range x.paths {
+		p := &x.paths[pi]
+		sec := 0.0
+		for i := int8(1); i < p.n; i++ {
+			l := p.links[i]
+			sec += last / s.net.caps[l]
+			if s.queued(l) {
+				sec += kBits / s.net.caps[l]
+			}
+		}
+		t := s.net.owBase(p.n) + sim.Time(sec*float64(sim.Second))
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// lastPktBits returns the wire size of a transfer's final packet.
+func (s *Sim) lastPktBits(x *xfer) float64 {
+	g := &s.groups[x.group]
+	rem := g.size % int64(s.cfg.MSS)
+	if rem == 0 {
+		rem = int64(s.cfg.MSS)
+	}
+	if g.size < rem {
+		rem = g.size
+	}
+	return float64(rem+int64(s.cfg.HeaderBytes)) * 8
+}
+
+func (s *Sim) allocXfer() int32 {
+	if n := len(s.freeX); n > 0 {
+		xi := s.freeX[n-1]
+		s.freeX = s.freeX[:n-1]
+		return xi
+	}
+	s.xfers = append(s.xfers, xfer{})
+	return int32(len(s.xfers) - 1)
+}
+
+func (s *Sim) allocGroup() int32 {
+	if n := len(s.freeG); n > 0 {
+		gi := s.freeG[n-1]
+		s.freeG = s.freeG[:n-1]
+		return gi
+	}
+	s.groups = append(s.groups, group{})
+	return int32(len(s.groups) - 1)
+}

@@ -1,0 +1,94 @@
+package fluid
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzFluidSolver decodes an arbitrary byte string into a fabric and a
+// session set and checks that the solver terminates with a feasible
+// max-min allocation. The decoding deliberately passes through hostile
+// values — zero, negative, NaN, and infinite capacities, out-of-range link
+// indices, empty sessions — because the solver's contract is to sanitize
+// rather than crash.
+//
+// Encoding: [nLinks u8][nSessions u8] then per link a float32 capacity
+// scale, then per session [nPaths u8][cap float32][links ...u8]. Truncated
+// input pads with zeros.
+func FuzzFluidSolver(f *testing.F) {
+	f.Add([]byte{1, 3, 0x40, 0x40, 0x40, 0x40, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0})
+	f.Add([]byte{4, 2, 0, 0, 0x80, 0x7f, 0, 0, 0xc0, 0x7f, 1, 1, 1, 1, 2, 0, 0, 0, 0, 0, 1, 3})
+	f.Add([]byte{0, 5})
+	f.Add([]byte{8, 8, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := fuzzReader{data: data}
+		nl := int(rd.u8()%16) + 1
+		ns := int(rd.u8() % 16)
+		caps := make([]float64, nl)
+		for i := range caps {
+			caps[i] = float64(rd.f32()) * 1e6
+		}
+		sessions := make([]Session, ns)
+		for i := range sessions {
+			np := int(rd.u8() % 6)
+			cap := float64(rd.f32())
+			links := make([]int32, np)
+			for j := range links {
+				// Unsanitized on purpose: indices may land outside [0, nl).
+				links[j] = int32(rd.u8()) - 8
+			}
+			sessions[i] = Session{Links: links, Cap: cap}
+		}
+		rates := Waterfill(caps, sessions)
+		for si, r := range rates {
+			if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+				t.Fatalf("session %d: invalid rate %v", si, r)
+			}
+		}
+		// Feasibility on in-range links (the certificate check's core).
+		used := make([]float64, nl)
+		for si, s := range sessions {
+			for _, l := range s.Links {
+				if l >= 0 && int(l) < nl {
+					used[l] += rates[si]
+				}
+			}
+		}
+		for l, u := range used {
+			c := caps[l]
+			if c < 0 || math.IsNaN(c) {
+				c = 0
+			} else if math.IsInf(c, 1) || c > hugeCap {
+				c = hugeCap
+			}
+			if u > c*(1+1e-6)+1e-9 {
+				t.Fatalf("link %d over capacity: used %v > cap %v", l, u, c)
+			}
+		}
+	})
+}
+
+// fuzzReader pulls fixed-width values off a byte string, padding with
+// zeros past the end.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) u8() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *fuzzReader) f32() float32 {
+	var buf [4]byte
+	for i := range buf {
+		buf[i] = r.u8()
+	}
+	return math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
+}

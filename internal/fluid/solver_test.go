@@ -1,0 +1,231 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkMaxMin verifies the two defining properties of a max-min fair
+// allocation against the inputs: feasibility on every link, and per-session
+// bottleneck optimality (each session runs at its cap or crosses a
+// saturated link on which no session holds a meaningfully larger rate).
+func checkMaxMin(t *testing.T, capacity []float64, sessions []Session, rates []float64) {
+	t.Helper()
+	if len(rates) != len(sessions) {
+		t.Fatalf("got %d rates for %d sessions", len(rates), len(sessions))
+	}
+	clean := func(c float64) float64 {
+		if c < 0 || math.IsNaN(c) {
+			return 0
+		}
+		if math.IsInf(c, 1) || c > hugeCap {
+			return hugeCap
+		}
+		return c
+	}
+	used := make([]float64, len(capacity))
+	for si, s := range sessions {
+		if rates[si] < 0 || math.IsNaN(rates[si]) {
+			t.Fatalf("session %d: invalid rate %v", si, rates[si])
+		}
+		for _, l := range s.Links {
+			if l >= 0 && int(l) < len(capacity) {
+				used[l] += rates[si]
+			}
+		}
+	}
+	for l, u := range used {
+		c := clean(capacity[l])
+		if u > c*(1+1e-6)+1e-9 {
+			t.Fatalf("link %d over capacity: used %v > cap %v", l, u, c)
+		}
+	}
+	for si, s := range sessions {
+		cap := s.Cap
+		if cap <= 0 || math.IsNaN(cap) || math.IsInf(cap, 1) {
+			cap = hugeCap
+		}
+		r := rates[si]
+		if r >= cap*(1-1e-6) {
+			continue // frozen at its own cap
+		}
+		inFabric := 0
+		bottlenecked := false
+		for _, l := range s.Links {
+			if l < 0 || int(l) >= len(capacity) {
+				continue
+			}
+			inFabric++
+			c := clean(capacity[l])
+			saturated := used[l] >= c*(1-1e-6)-1e-9
+			if !saturated {
+				continue
+			}
+			// No other session on l may hold a meaningfully larger rate.
+			maxOther := 0.0
+			for sj, o := range sessions {
+				if sj == si {
+					continue
+				}
+				for _, ol := range o.Links {
+					if ol == l && rates[sj] > maxOther {
+						maxOther = rates[sj]
+					}
+				}
+			}
+			if maxOther <= r*(1+1e-6)+1e-9 {
+				bottlenecked = true
+				break
+			}
+		}
+		if inFabric == 0 {
+			continue // linkless: nothing to certify
+		}
+		if !bottlenecked {
+			t.Fatalf("session %d: rate %v below cap %v with no bottleneck link", si, r, cap)
+		}
+	}
+}
+
+func TestWaterfillKnownCases(t *testing.T) {
+	// Three flows on one 10 Gb/s link: equal thirds.
+	caps := []float64{10e9}
+	rates := Waterfill(caps, []Session{
+		{Links: []int32{0}}, {Links: []int32{0}}, {Links: []int32{0}},
+	})
+	for i, r := range rates {
+		if math.Abs(r-10e9/3) > 1 {
+			t.Fatalf("flow %d: got %v, want 10G/3", i, r)
+		}
+	}
+
+	// Classic triangle: link 0 shared by sessions A and B, link 1 by B and
+	// C; cap 10 and 20. A=5, B=5 (bottleneck link 0), C=15.
+	caps = []float64{10, 20}
+	rates = Waterfill(caps, []Session{
+		{Links: []int32{0}},
+		{Links: []int32{0, 1}},
+		{Links: []int32{1}},
+	})
+	want := []float64{5, 5, 15}
+	for i := range want {
+		if math.Abs(rates[i]-want[i]) > 1e-6 {
+			t.Fatalf("rates = %v, want %v", rates, want)
+		}
+	}
+
+	// A session cap binds below the fair share: capped at 2, the other
+	// takes the rest.
+	caps = []float64{10}
+	rates = Waterfill(caps, []Session{
+		{Links: []int32{0}, Cap: 2},
+		{Links: []int32{0}},
+	})
+	if math.Abs(rates[0]-2) > 1e-9 || math.Abs(rates[1]-8) > 1e-6 {
+		t.Fatalf("rates = %v, want [2 8]", rates)
+	}
+
+	// Two access-limited flows exactly filling a shared fat link: both get
+	// their access rate, the fat link sits at 100% without constraining.
+	caps = []float64{10, 10, 20}
+	rates = Waterfill(caps, []Session{
+		{Links: []int32{0, 2}},
+		{Links: []int32{1, 2}},
+	})
+	if math.Abs(rates[0]-10) > 1e-6 || math.Abs(rates[1]-10) > 1e-6 {
+		t.Fatalf("rates = %v, want [10 10]", rates)
+	}
+}
+
+// TestWaterfillProperty drives the solver with randomized fabrics and
+// session sets and checks the max-min certificate on every instance.
+func TestWaterfillProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		nl := 1 + rng.Intn(12)
+		caps := make([]float64, nl)
+		for i := range caps {
+			switch rng.Intn(10) {
+			case 0:
+				caps[i] = 0
+			case 1:
+				caps[i] = math.Inf(1)
+			default:
+				caps[i] = float64(1+rng.Intn(1000)) * 1e7
+			}
+		}
+		ns := rng.Intn(20)
+		sessions := make([]Session, ns)
+		for i := range sessions {
+			np := rng.Intn(5)
+			links := make([]int32, np)
+			for j := range links {
+				links[j] = int32(rng.Intn(nl))
+			}
+			var cap float64
+			if rng.Intn(3) == 0 {
+				cap = float64(1+rng.Intn(100)) * 1e7
+			}
+			sessions[i] = Session{Links: links, Cap: cap}
+		}
+		rates := Waterfill(caps, sessions)
+		checkMaxMin(t, caps, sessions, rates)
+	}
+}
+
+// TestWaterfillReuse checks that a reused waterfiller (the engine's mode of
+// operation) produces identical results to a fresh one across solves of
+// different shapes.
+func TestWaterfillReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var w waterfiller
+	for trial := 0; trial < 50; trial++ {
+		nl := 1 + rng.Intn(8)
+		caps := make([]float64, nl)
+		for i := range caps {
+			caps[i] = float64(1+rng.Intn(100)) * 1e8
+		}
+		ns := rng.Intn(10)
+		sessions := make([]Session, ns)
+		for i := range sessions {
+			links := make([]int32, rng.Intn(4))
+			for j := range links {
+				links[j] = int32(rng.Intn(nl))
+			}
+			sessions[i] = Session{Links: links}
+		}
+		fresh := Waterfill(caps, sessions)
+		w.begin(caps)
+		for _, s := range sessions {
+			w.add(s.Links, s.Cap)
+		}
+		w.solve()
+		for i := range fresh {
+			if w.rate[i] != fresh[i] {
+				t.Fatalf("trial %d session %d: reused %v != fresh %v", trial, i, w.rate[i], fresh[i])
+			}
+		}
+	}
+}
+
+// TestWaterfillUtil pins the utilization accounting the congestion signal
+// reads.
+func TestWaterfillUtil(t *testing.T) {
+	var w waterfiller
+	caps := []float64{10, 20, 30}
+	w.begin(caps)
+	w.add([]int32{0, 1}, 0)
+	w.add([]int32{1}, 4)
+	w.solve()
+	// Session 0 gets 10 (link 0), session 1 its cap 4. Link 1 carries 14/20.
+	if u := w.util(0); math.Abs(u-1) > 1e-9 {
+		t.Fatalf("util(0) = %v, want 1", u)
+	}
+	if u := w.util(1); math.Abs(u-0.7) > 1e-9 {
+		t.Fatalf("util(1) = %v, want 0.7", u)
+	}
+	if u := w.util(2); u != 0 {
+		t.Fatalf("util(2) = %v, want 0 (untouched)", u)
+	}
+}

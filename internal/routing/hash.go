@@ -62,7 +62,18 @@ func flowKeyHash(pkt *netsim.Packet, salt uint64) uint64 {
 	} else {
 		h = FlowHashPrefix(pkt.Src, pkt.Dst, pkt.SrcPort, pkt.DstPort, pkt.Proto)
 	}
-	h = fnvMix(h, uint64(pkt.PathTag))
+	return PathKeyHash(h, pkt.PathTag, salt)
+}
+
+// PathKeyHash resumes the ECMP flow-key hash from a flow-constant prefix
+// (see FlowHashPrefix), folding in the path tag and a per-switch salt and
+// applying the avalanche finalizer — exactly the digest flowKeyHash computes
+// for a packet carrying that prefix and tag at a switch with that salt. The
+// fluid engine uses it (with NodeSalt) to reproduce the packet engine's
+// per-flow path draws, hash collisions included, without constructing
+// packets or switches.
+func PathKeyHash(prefix uint64, tag uint32, salt uint64) uint64 {
+	h := fnvMix(prefix, uint64(tag))
 	h = fnvMix(h, salt)
 	// fmix64 avalanche (MurmurHash3 finalizer).
 	h ^= h >> 33
@@ -73,13 +84,21 @@ func flowKeyHash(pkt *netsim.Packet, salt uint64) uint64 {
 	return h
 }
 
-func switchSalt(sw *netsim.Switch) uint64 {
+// NodeSalt returns the per-device ECMP hash seed of the switch with the
+// given node ID — the same value switchSalt derives from a live switch, so
+// callers that know a switch's ID arithmetically (the fluid engine derives
+// fat-tree IDs from the topology shape) reproduce its hash draws exactly.
+func NodeSalt(id netsim.NodeID) uint64 {
 	// Derived purely from the switch's stable identity.
-	x := uint64(sw.ID()) + 0x9e3779b97f4a7c15
+	x := uint64(id) + 0x9e3779b97f4a7c15
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
 	return x
+}
+
+func switchSalt(sw *netsim.Switch) uint64 {
+	return NodeSalt(sw.ID())
 }

@@ -209,12 +209,21 @@ func PlanFlow(cfg Config, id netsim.FlowID, src, dst *netsim.Host, size int64) *
 		ID: id, Src: src, Dst: dst, Size: size,
 		Start: -1, RecvDone: -1, SendDone: -1,
 	}
+	srcPort, dstPort := PortsFor(id)
 	return &PendingFlow{
 		f:       f,
 		cfg:     cfg,
-		srcPort: uint16(10000 + (uint64(id)*2654435761)%50000),
-		dstPort: 5001,
+		srcPort: srcPort,
+		dstPort: dstPort,
 	}
+}
+
+// PortsFor returns the port numbers a flow with this ID runs under — the
+// ID-derived source port that gives the ECMP hash its 5-tuple entropy, and
+// the fixed service port. Exported so the fluid engine reproduces the packet
+// engine's per-flow hash draws from IDs alone.
+func PortsFor(id netsim.FlowID) (srcPort, dstPort uint16) {
+	return uint16(10000 + (uint64(id)*2654435761)%50000), 5001
 }
 
 // Flow returns the planned flow record.

@@ -72,6 +72,25 @@ func SmallScale() Params {
 	return p
 }
 
+// HyperScale returns a 10,240-host fabric: 16 pods of 16 ToRs x 40 servers,
+// with 8 aggregation switches per pod and 32 cores (32 inter-pod paths).
+// This is the ROADMAP's "tens of thousands of hosts" shape — far beyond
+// what per-packet simulation finishes in useful wall time, so only the
+// fluid engine runs it. The 20x server-to-core oversubscription is
+// deliberate: hyperscale fabrics oversubscribe far more aggressively than
+// the paper's 4x testbed, and the fluid fidelity story is about structure
+// (non-oversubscribed ToRs, contention at the agg-core stage), not the
+// paper's exact ratio.
+func HyperScale() Params {
+	p := PaperScale()
+	p.Pods = 16
+	p.TorsPerPod = 16
+	p.AggsPerPod = 8
+	p.ServersPerTor = 40
+	p.CoreUplinksPerAgg = 4
+	return p
+}
+
 // TinyScale is for unit tests: 16 servers, 2 pods, 2 paths, 4x oversub.
 func TinyScale() Params {
 	p := PaperScale()

@@ -36,6 +36,10 @@ type AllToAll struct {
 	Eng   *sim.Engine
 	RNG   *sim.RNG
 	Hosts []*netsim.Host
+	// NumHosts is the host count used by PredrawIdx when Hosts is nil —
+	// the fluid engine plans workloads over bare host indices without
+	// constructing netsim hosts at all. Ignored when Hosts is set.
+	NumHosts int
 	// SrcHosts, when non-empty, restricts senders to this subset (the
 	// paper's testbed pattern has one ToR's servers initiate all flows);
 	// destinations are still drawn from Hosts.
@@ -101,6 +105,14 @@ type Arrival struct {
 	Size     int64
 }
 
+// ArrivalIdx is one pre-drawn all-to-all flow arrival by host index — the
+// fluid engine's planning unit, requiring no netsim hosts to exist.
+type ArrivalIdx struct {
+	At       sim.Time
+	Src, Dst int32
+	Size     int64
+}
+
 // Predraw consumes the generator's RNG exactly as n live arrivals would and
 // returns them without starting any flows. It lets the sharded runner plan
 // the entire workload up front — every start becomes a pre-scheduled event
@@ -109,21 +121,53 @@ type Arrival struct {
 // Run, never in addition (both consume the same stream); Eng, Start, and
 // IDs may be nil.
 func (g *AllToAll) Predraw(n int) []Arrival {
+	if len(g.SrcHosts) == 0 {
+		// Delegate to the index-based planner so the two predraw forms are
+		// one RNG stream by construction, not by parallel maintenance.
+		idx := g.PredrawIdx(n)
+		out := make([]Arrival, len(idx))
+		for i, a := range idx {
+			out[i] = Arrival{At: a.At, Src: g.Hosts[a.Src], Dst: g.Hosts[a.Dst], Size: a.Size}
+		}
+		return out
+	}
 	out := make([]Arrival, 0, n)
 	var t sim.Time
 	for i := 0; i < n; i++ {
-		var src *netsim.Host
-		if len(g.SrcHosts) > 0 {
-			src = g.SrcHosts[g.RNG.Intn(len(g.SrcHosts))]
-		} else {
-			src = g.Hosts[g.RNG.Intn(len(g.Hosts))]
-		}
+		src := g.SrcHosts[g.RNG.Intn(len(g.SrcHosts))]
 		dst := src
 		for dst == src {
 			dst = g.Hosts[g.RNG.Intn(len(g.Hosts))]
 		}
 		size := g.CDF.Sample(g.RNG)
 		out = append(out, Arrival{At: t, Src: src, Dst: dst, Size: size})
+		t += g.RNG.Exp(g.MeanInterarrival)
+	}
+	return out
+}
+
+// PredrawIdx is Predraw over bare host indices: the identical RNG draws,
+// with sources and destinations as positions in Hosts (or in [0, NumHosts)
+// when Hosts is nil). It panics if SrcHosts is set — the restricted-sender
+// pattern is pointer-based and has no index form.
+func (g *AllToAll) PredrawIdx(n int) []ArrivalIdx {
+	if len(g.SrcHosts) > 0 {
+		panic("workload: PredrawIdx does not support SrcHosts")
+	}
+	nh := len(g.Hosts)
+	if nh == 0 {
+		nh = g.NumHosts
+	}
+	out := make([]ArrivalIdx, 0, n)
+	var t sim.Time
+	for i := 0; i < n; i++ {
+		src := g.RNG.Intn(nh)
+		dst := src
+		for dst == src {
+			dst = g.RNG.Intn(nh)
+		}
+		size := g.CDF.Sample(g.RNG)
+		out = append(out, ArrivalIdx{At: t, Src: int32(src), Dst: int32(dst), Size: size})
 		t += g.RNG.Exp(g.MeanInterarrival)
 	}
 	return out

@@ -168,8 +168,12 @@ func (k PatternKind) String() string {
 type FlowSpec struct {
 	At       sim.Time
 	Src, Dst *netsim.Host
-	Size     int64
-	Kind     PatternKind
+	// SrcIdx, DstIdx are the endpoints as positions in the host list — the
+	// form the fluid engine consumes. Always populated; Src/Dst are nil
+	// when the Mix was configured with NumHosts instead of Hosts.
+	SrcIdx, DstIdx int32
+	Size           int64
+	Kind           PatternKind
 }
 
 // Mix generates a production-shaped open-loop workload: batches arrive per
@@ -187,7 +191,10 @@ type FlowSpec struct {
 type Mix struct {
 	RNG   *sim.RNG
 	Hosts []*netsim.Host
-	CDF   CDF
+	// NumHosts is the host count used when Hosts is nil (index-only
+	// generation for the fluid engine). Ignored when Hosts is set.
+	NumHosts int
+	CDF      CDF
 	// Arrivals generates batch gaps; the first batch arrives at time 0.
 	Arrivals ArrivalProcess
 
@@ -210,6 +217,23 @@ type Mix struct {
 	t       sim.Time
 	emitted int
 	started bool
+}
+
+// hostCount returns the endpoint-draw range: len(Hosts), or NumHosts when
+// generating index-only.
+func (m *Mix) hostCount() int {
+	if len(m.Hosts) > 0 {
+		return len(m.Hosts)
+	}
+	return m.NumHosts
+}
+
+// host returns the i-th host pointer, or nil in index-only mode.
+func (m *Mix) host(i int) *netsim.Host {
+	if len(m.Hosts) > 0 {
+		return m.Hosts[i]
+	}
+	return nil
 }
 
 func (m *Mix) fanIn() int {
@@ -260,16 +284,20 @@ func (m *Mix) NextBatch() []FlowSpec {
 		kind = KindStorage
 	}
 
+	// All endpoint draws are by index so the stream is identical whether
+	// the Mix carries netsim hosts (packet engine) or bare counts (fluid).
+	nh := m.hostCount()
 	var batch []FlowSpec
 	switch kind {
 	case KindPlain:
 		size := m.CDF.Sample(m.RNG)
-		src := m.Hosts[m.RNG.Intn(len(m.Hosts))]
+		src := m.RNG.Intn(nh)
 		dst := src
 		for dst == src {
-			dst = m.Hosts[m.RNG.Intn(len(m.Hosts))]
+			dst = m.RNG.Intn(nh)
 		}
-		batch = append(batch, FlowSpec{At: m.t, Src: src, Dst: dst, Size: size, Kind: kind})
+		batch = append(batch, FlowSpec{At: m.t, Src: m.host(src), Dst: m.host(dst),
+			SrcIdx: int32(src), DstIdx: int32(dst), Size: size, Kind: kind})
 	case KindIncast:
 		job := m.CDF.Sample(m.RNG)
 		fan := m.fanIn()
@@ -277,29 +305,31 @@ func (m *Mix) NextBatch() []FlowSpec {
 		if per < 1 {
 			per = 1
 		}
-		agg := m.RNG.Intn(len(m.Hosts))
+		agg := m.RNG.Intn(nh)
 		used := map[int]bool{agg: true}
 		for w := 0; w < fan; w++ {
-			src := m.RNG.IntnExcept(len(m.Hosts), agg)
-			for used[src] && len(used) < len(m.Hosts) {
-				src = m.RNG.IntnExcept(len(m.Hosts), agg)
+			src := m.RNG.IntnExcept(nh, agg)
+			for used[src] && len(used) < nh {
+				src = m.RNG.IntnExcept(nh, agg)
 			}
 			used[src] = true
 			batch = append(batch, FlowSpec{
-				At: m.t, Src: m.Hosts[src], Dst: m.Hosts[agg], Size: per, Kind: kind})
+				At: m.t, Src: m.host(src), Dst: m.host(agg),
+				SrcIdx: int32(src), DstIdx: int32(agg), Size: per, Kind: kind})
 		}
 	case KindStorage:
 		size := m.CDF.Sample(m.RNG)
-		wr := m.RNG.Intn(len(m.Hosts))
+		wr := m.RNG.Intn(nh)
 		used := map[int]bool{wr: true}
 		for r := 0; r < m.replicas(); r++ {
-			dst := m.RNG.IntnExcept(len(m.Hosts), wr)
-			for used[dst] && len(used) < len(m.Hosts) {
-				dst = m.RNG.IntnExcept(len(m.Hosts), wr)
+			dst := m.RNG.IntnExcept(nh, wr)
+			for used[dst] && len(used) < nh {
+				dst = m.RNG.IntnExcept(nh, wr)
 			}
 			used[dst] = true
 			batch = append(batch, FlowSpec{
-				At: m.t, Src: m.Hosts[wr], Dst: m.Hosts[dst], Size: size, Kind: kind})
+				At: m.t, Src: m.host(wr), Dst: m.host(dst),
+				SrcIdx: int32(wr), DstIdx: int32(dst), Size: size, Kind: kind})
 		}
 	}
 

@@ -97,3 +97,36 @@ if [ "$hyper_peak" -gt "$FLUID_CEILING_MB" ]; then
 fi
 
 echo "PASS: 10k-host fluid run stays under the ${FLUID_CEILING_MB} MB ceiling"
+
+# ---- Fluid-engine mega-scale smoke ------------------------------------
+#
+# The third contract: the incremental solver completes a 102,400-host run
+# — ten times the hyper fabric — in seconds of wall clock inside a fixed
+# memory ceiling. The solver's state is dense per-link/per-session arrays
+# from reusable arenas (zero steady-state allocations), so the peak is set
+# by fabric size plus the in-flight flow window, not by flow count: the
+# realistic websearch mix at 20% load peaks around 48 MB on the reference
+# box. The ceiling leaves ~2x slack for GC/runtime noise, not real growth.
+MEGA_CEILING_MB=96
+GOMEMLIMIT=128MiB "$work/fbsim" -exp production -engine fluid -scale mega \
+  -schemes ECMP -load 0.2 -flows 50000 -seed 2 -v \
+  >"$work/mega.txt" 2>"$work/mega.err"
+mega_peak=$(sed -n 's/.*peak memory \([0-9][0-9]*\) MB from OS.*/\1/p' "$work/mega.err")
+if [ -z "$mega_peak" ]; then
+  echo "FAIL: no peak-memory line in -v output for the mega-scale fluid run" >&2
+  cat "$work/mega.err" >&2
+  exit 1
+fi
+echo "peak memory: 102k-host fluid run (50k flows) = ${mega_peak} MB"
+
+grep -q '50000/50000' "$work/mega.txt" || {
+  echo "FAIL: mega-scale fluid run did not complete all flows" >&2
+  grep -m1 'completed' "$work/mega.txt" >&2 || cat "$work/mega.txt" >&2
+  exit 1
+}
+if [ "$mega_peak" -gt "$MEGA_CEILING_MB" ]; then
+  echo "FAIL: mega-scale fluid peak ${mega_peak} MB exceeds the ${MEGA_CEILING_MB} MB ceiling" >&2
+  exit 1
+fi
+
+echo "PASS: 102k-host fluid run stays under the ${MEGA_CEILING_MB} MB ceiling"

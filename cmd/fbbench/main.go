@@ -233,6 +233,17 @@ func runJSON(dir, scaleList string, seed int64, parallel, shards int, engine exp
 	fmt.Fprintln(os.Stderr, "fbbench: measuring fluid_a2a_flowbender ...")
 	snap.Measure(fmt.Sprintf("fluid_a2a_flowbender_%d", fluidBenchFlows),
 		func(b *testing.B) { benchkit.FluidAllToAllFlowBender(b, fluidBenchFlows) })
+	// Solver-shards sweep: the same fluid point with the component-parallel
+	// solve engaged. Results are bit-identical to serial at any count; the
+	// sweep prices the dispatch (a win only materializes on a multi-core
+	// box — see the snapshot's gomaxprocs/cpu metadata for what this run
+	// actually had).
+	for _, s := range []int{1, 2, 4, 8} {
+		fmt.Fprintf(os.Stderr, "fbbench: measuring fluid_a2a solver-shards=%d ...\n", s)
+		s := s
+		snap.Measure(fmt.Sprintf("fluid_a2a_%d_sshards%d", fluidBenchFlows, s),
+			func(b *testing.B) { benchkit.FluidAllToAllShards(b, fluidBenchFlows, s) })
+	}
 
 	for _, sc := range strings.Split(scaleList, ",") {
 		sc = strings.TrimSpace(sc)

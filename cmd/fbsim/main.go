@@ -36,12 +36,13 @@ func main() {
 		exp      = flag.String("exp", "", "experiment name (see -list)")
 		list     = flag.Bool("list", false, "list available experiments")
 		seed     = flag.Int64("seed", 1, "random seed")
-		scale    = flag.String("scale", "small", "fabric scale: tiny, small, paper, or hyper (10k hosts; -engine fluid only)")
+		scale    = flag.String("scale", "small", "fabric scale: tiny, small, paper, hyper (10k hosts), or mega (102k hosts); hyper and mega need -engine fluid")
 		engineF  = flag.String("engine", "packet", "simulation engine: packet (per-packet, reference fidelity) or fluid (flow-level fast path; honored by alltoall, table1, production, and fidelity — other experiments keep the packet engine)")
 		flows    = flag.Int("flows", 0, "override per-run flow count")
 		jobs     = flag.Int("jobs", 0, "override partition-aggregate job count")
 		parallel = flag.Int("parallel", 0, "max concurrent simulation points (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
 		shards   = flag.Int("shards", 0, "split each shardable simulation point (ECMP/Flowlet/FlowDyn, see -list-schemes) across this many engine shards (0/1 = serial; output is identical at any count)")
+		solverSh = flag.Int("solver-shards", 0, "max parallel workers for the fluid engine's incremental rate solver (0/1 = serial; output is bit-identical at any count; -engine fluid only)")
 		seeds    = flag.Int("seeds", 0, "replicate each point over this many seeds and report mean ± stddev")
 		cdfPath  = flag.String("cdf", "", "flow-size CDF file for all-to-all workloads (lines of \"<bytes> <cumulative-prob>\")")
 		workld   = flag.String("workload", "", "production-mix workload for -exp production: websearch (diurnal arrivals with a load spike) or datamining (Poisson); empty = websearch")
@@ -128,13 +129,14 @@ func main() {
 		exit(2)
 	}
 	o := experiments.Options{
-		Seed:        *seed,
-		FlowCount:   *flows,
-		JobCount:    *jobs,
-		Parallelism: *parallel,
-		Shards:      *shards,
-		Seeds:       *seeds,
-		Watchdog:    *watchdog,
+		Seed:         *seed,
+		FlowCount:    *flows,
+		JobCount:     *jobs,
+		Parallelism:  *parallel,
+		Shards:       *shards,
+		SolverShards: *solverSh,
+		Seeds:        *seeds,
+		Watchdog:     *watchdog,
 	}
 	if *faultSel != "" {
 		for _, name := range strings.Split(*faultSel, ",") {
@@ -187,6 +189,8 @@ func main() {
 		o.Scale = experiments.ScalePaper
 	case "hyper":
 		o.Scale = experiments.ScaleHyper
+	case "mega":
+		o.Scale = experiments.ScaleMega
 	default:
 		fmt.Fprintf(os.Stderr, "fbsim: unknown scale %q\n", *scale)
 		exit(2)
@@ -197,10 +201,10 @@ func main() {
 		exit(2)
 	}
 	o.Engine = engine
-	if o.Scale == experiments.ScaleHyper && engine != experiments.EngineFluid {
-		// A 10k-host packet run would need days and tens of GB; refuse
-		// rather than wedge.
-		fmt.Fprintln(os.Stderr, "fbsim: -scale hyper requires -engine fluid")
+	if o.Scale >= experiments.ScaleHyper && engine != experiments.EngineFluid {
+		// A 10k-host (let alone 102k-host) packet run would need days and
+		// tens of GB; refuse rather than wedge.
+		fmt.Fprintf(os.Stderr, "fbsim: -scale %s requires -engine fluid\n", *scale)
 		exit(2)
 	}
 	if *verb {

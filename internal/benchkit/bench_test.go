@@ -20,6 +20,8 @@ func BenchmarkTCPTransfer10MB(b *testing.B) { TCPTransfer(b, 10_000_000) }
 // extras are flows/sec and allocs/op (the fluid engine's per-run footprint).
 func BenchmarkFluidAllToAll(b *testing.B)           { FluidAllToAll(b, 2000) }
 func BenchmarkFluidAllToAllFlowBender(b *testing.B) { FluidAllToAllFlowBender(b, 2000) }
+func BenchmarkFluidAllToAllShards2(b *testing.B)    { FluidAllToAllShards(b, 2000, 2) }
+func BenchmarkFluidAllToAllShards8(b *testing.B)    { FluidAllToAllShards(b, 2000, 8) }
 
 // benchSwitch builds an 8-port switch with an 8-way ECMP route for every
 // destination, mirroring a core switch's forwarding state.

@@ -1,0 +1,50 @@
+package benchkit
+
+import (
+	"testing"
+
+	"flowbender/internal/fluid"
+	"flowbender/internal/netsim"
+	"flowbender/internal/sim"
+	"flowbender/internal/topo"
+)
+
+// TestFluidSteadyStateZeroAlloc is the allocation-regression gate's
+// whole-engine half: after one warm-up run has sized the arenas, pools,
+// and event wheel, a complete 2000-flow all-to-all — arrivals, incremental
+// re-solves, slow-start rounds, completions — must perform zero heap
+// allocations. The benchmark twin (BenchmarkFluidAllToAll) reports the
+// same number; this test makes it a hard CI failure instead of a snapshot
+// diff.
+func TestFluidSteadyStateZeroAlloc(t *testing.T) {
+	cfg := fluid.Config{Params: topo.TinyScale()}
+	arrivals := fluidArrivals(cfg.Params, 2000)
+	eng := sim.NewEngine()
+	fs := fluid.NewSim(eng, cfg)
+	var base sim.Time
+	idx := 0
+	var beacon func()
+	beacon = func() {
+		j := idx
+		idx++
+		if idx < len(arrivals) {
+			eng.At(base+arrivals[idx].At, beacon)
+		}
+		a := arrivals[j]
+		fs.Arrive(netsim.FlowID(j+1), a.Src, a.Dst, a.Size, 0)
+	}
+	runOnce := func() {
+		base = eng.Now()
+		idx = 0
+		fs.Completed = 0
+		eng.At(base+arrivals[0].At, beacon)
+		eng.RunUntilIdle()
+		if fs.Completed != int64(len(arrivals)) {
+			t.Fatalf("fluid run incomplete: %d of %d flows", fs.Completed, len(arrivals))
+		}
+	}
+	runOnce() // untimed warm-up (AllocsPerRun's own warm-up call is run two)
+	if n := testing.AllocsPerRun(5, runOnce); n != 0 {
+		t.Fatalf("steady-state fluid run allocates %v times per run, want 0", n)
+	}
+}

@@ -138,11 +138,20 @@ type FlowBender struct {
 // New returns a controller for one flow. It panics on an invalid Config
 // (programmer error: the config is code, not input).
 func New(cfg Config) *FlowBender {
+	fb := Make(cfg)
+	return &fb
+}
+
+// Make is New without the heap allocation: it returns the controller by
+// value for embedding in caller-managed slot arrays (the fluid engine keeps
+// one per transfer slot in a parallel slice so steady-state flow churn
+// allocates nothing). Semantics are identical to New.
+func Make(cfg Config) FlowBender {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
 	cfg = cfg.withDefaults()
-	fb := &FlowBender{cfg: cfg, requiredN: cfg.N, sinceReroute: 1 << 30}
+	fb := FlowBender{cfg: cfg, requiredN: cfg.N, sinceReroute: 1 << 30}
 	fb.tag = cfg.InitialTag % cfg.NumValues
 	if cfg.RNG != nil && cfg.InitialTag == 0 {
 		fb.tag = uint32(cfg.RNG.Intn(int(cfg.NumValues)))

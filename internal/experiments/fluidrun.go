@@ -72,6 +72,7 @@ func (o Options) runAllToAllFluid(spec allToAllSpec) *runOutcome {
 		p = *spec.params
 	}
 	cfg := fluidConfig(p, spec.scheme, spec.fb, spec.rawFB, schemeRNG)
+	cfg.SolverShards = o.SolverShards
 
 	cdf := spec.cdf
 	if cdf == nil {
@@ -92,10 +93,25 @@ func (o Options) runAllToAllFluid(spec allToAllSpec) *runOutcome {
 	fs := fluid.NewSim(eng, cfg)
 	out := &runOutcome{}
 	fs.OnDone = func(d fluid.Done) { out.FCT.Add(d.Size, d.FCT.Seconds()) }
-	for i := range arrivals {
-		a := arrivals[i]
-		id := netsim.FlowID(i + 1)
-		eng.At(a.At, func() { fs.Arrive(id, a.Src, a.Dst, a.Size, 0) })
+	// Beacon-chained injection (as in runProductionFluid): the engine holds
+	// one pending arrival instead of all of them, which keeps the event queue
+	// flat — at the mega rung the up-front schedule would otherwise be
+	// millions of pending events deep. The next beacon is armed before the
+	// current flow arrives so a same-instant burst still batches into one
+	// solver commit.
+	idx := 0
+	var beacon func()
+	beacon = func() {
+		j := idx
+		idx++
+		if idx < len(arrivals) {
+			eng.At(arrivals[idx].At, beacon)
+		}
+		a := arrivals[j]
+		fs.Arrive(netsim.FlowID(j+1), a.Src, a.Dst, a.Size, 0)
+	}
+	if len(arrivals) > 0 {
+		eng.At(arrivals[0].At, beacon)
 	}
 
 	total := int64(len(arrivals))
@@ -121,6 +137,7 @@ func (o Options) runValidationFluid(scheme Scheme, k int, size int64) (meanMs, m
 
 	p := o.params()
 	cfg := fluidConfig(p, scheme, core.Config{}, false, schemeRNG)
+	cfg.SolverShards = o.SolverShards
 	fs := fluid.NewSim(eng, cfg)
 
 	var s stats.Sketch
@@ -162,6 +179,7 @@ func (o Options) runProductionFluid(scheme Scheme, cdf workload.CDF, flows int) 
 
 	p := o.params()
 	cfg := fluidConfig(p, scheme, core.Config{}, false, schemeRNG)
+	cfg.SolverShards = o.SolverShards
 	fs := fluid.NewSim(eng, cfg)
 
 	mix, deadline := o.newMix(rootRNG.Fork("workload"), nil, p, cdf, flows)

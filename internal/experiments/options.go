@@ -28,6 +28,11 @@ const (
 	// far beyond what the packet engine can execute; it exists for the
 	// fluid engine's scaling runs and refuses to run under EnginePacket.
 	ScaleHyper
+	// ScaleMega is a 102,400-host fabric (32 pods × 32 ToRs × 100
+	// servers), the incremental fluid solver's headline rung. Like hyper
+	// it is fluid-only; per-link and per-host state is dense arrays, so
+	// the whole fabric fits in tens of MB.
+	ScaleMega
 )
 
 func (s ScaleLevel) String() string {
@@ -40,6 +45,8 @@ func (s ScaleLevel) String() string {
 		return "paper"
 	case ScaleHyper:
 		return "hyper"
+	case ScaleMega:
+		return "mega"
 	}
 	return "scale?"
 }
@@ -122,6 +129,14 @@ type Options struct {
 	// shard workers borrow CPU tokens from the same pool that admits
 	// sibling points, so `-parallel N -shards M` never oversubscribes.
 	Shards int
+
+	// SolverShards bounds how many workers the fluid engine's incremental
+	// rate solver may use for one commit's independent bottleneck
+	// components (see fluid.Config.SolverShards). 0 or 1 solves serially.
+	// Results are bit-identical at any value — the partition and the
+	// merge order are deterministic — so, like Parallelism, it is not
+	// part of a run's checkpoint identity. Only fluid-engine runs read it.
+	SolverShards int
 
 	// Seeds replicates each measured point over this many seeds (Seed,
 	// Seed+1000, Seed+2000, ...) and reports mean ± stddev where the
@@ -223,6 +238,8 @@ func (o Options) params() topo.Params {
 		return topo.PaperScale()
 	case ScaleHyper:
 		return topo.HyperScale()
+	case ScaleMega:
+		return topo.MegaScale()
 	default:
 		return topo.SmallScale()
 	}
@@ -239,6 +256,8 @@ func (o Options) flowCount() int {
 		return 4000
 	case ScaleHyper:
 		return 100000
+	case ScaleMega:
+		return 250000
 	default:
 		return 1500
 	}

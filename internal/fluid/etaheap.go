@@ -1,0 +1,115 @@
+package fluid
+
+import "flowbender/internal/sim"
+
+// etaEntry is one heap slot: the crossing instant and the transfer it
+// belongs to, packed together so a sift chain moves one 16-byte struct
+// instead of touching parallel arrays.
+type etaEntry struct {
+	eta sim.Time
+	id  int32
+}
+
+// etaHeap is an indexed binary min-heap over the running transfers' next
+// threshold-crossing instants. It replaces the full active-set scan the
+// engine used to pay on every event: re-aiming the single wake event is
+// O(1) (peek) and an individual transfer's update is O(log n). Ties are
+// broken by transfer index so the processing order — and with it the whole
+// simulation — stays deterministic.
+type etaHeap struct {
+	es  []etaEntry
+	pos []int32 // xfer index -> heap slot, -1 when absent
+}
+
+// ensure extends the index so xfer slots < n are addressable.
+func (h *etaHeap) ensure(n int) {
+	for len(h.pos) < n {
+		h.pos = append(h.pos, -1)
+	}
+}
+
+func (h *etaHeap) Len() int { return len(h.es) }
+
+// Min returns the transfer with the earliest crossing. Caller checks Len.
+func (h *etaHeap) Min() (int32, sim.Time) { return h.es[0].id, h.es[0].eta }
+
+// Set inserts xi or updates its crossing instant.
+func (h *etaHeap) Set(xi int32, t sim.Time) {
+	if p := h.pos[xi]; p >= 0 {
+		old := h.es[p].eta
+		h.es[p].eta = t
+		if t < old {
+			h.up(p)
+		} else if t > old {
+			h.down(p)
+		}
+		return
+	}
+	p := int32(len(h.es))
+	h.es = append(h.es, etaEntry{eta: t, id: xi})
+	h.pos[xi] = p
+	h.up(p)
+}
+
+// Remove drops xi if present.
+func (h *etaHeap) Remove(xi int32) {
+	p := h.pos[xi]
+	if p < 0 {
+		return
+	}
+	last := int32(len(h.es) - 1)
+	h.pos[xi] = -1
+	if p != last {
+		h.es[p] = h.es[last]
+		h.pos[h.es[p].id] = p
+	}
+	h.es = h.es[:last]
+	if p < last {
+		h.down(p)
+		h.up(p)
+	}
+}
+
+func (h *etaHeap) less(a, b etaEntry) bool {
+	if a.eta != b.eta {
+		return a.eta < b.eta
+	}
+	return a.id < b.id
+}
+
+func (h *etaHeap) up(p int32) {
+	en := h.es[p]
+	for p > 0 {
+		parent := (p - 1) / 2
+		if !h.less(en, h.es[parent]) {
+			break
+		}
+		h.es[p] = h.es[parent]
+		h.pos[h.es[p].id] = p
+		p = parent
+	}
+	h.es[p] = en
+	h.pos[en.id] = p
+}
+
+func (h *etaHeap) down(p int32) {
+	n := int32(len(h.es))
+	en := h.es[p]
+	for {
+		c := 2*p + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h.less(h.es[r], h.es[c]) {
+			c = r
+		}
+		if !h.less(h.es[c], en) {
+			break
+		}
+		h.es[p] = h.es[c]
+		h.pos[h.es[p].id] = p
+		p = c
+	}
+	h.es[p] = en
+	h.pos[en.id] = p
+}

@@ -1,11 +1,19 @@
 // Package fluid is the flow-level fast path of the simulator: flows are
 // rate allocations over paths instead of per-packet events. On every flow
-// arrival, finish, pause, or reroute the engine re-solves a progressive
+// arrival, finish, pause, or reroute the engine updates a progressive
 // max-min fair-share waterfilling over the links the active flows traverse
 // (the standard fluid approximation of per-flow TCP throughput), and
 // advances every flow's residual by its allocated rate between events. A
 // simulation's event count is O(flows), not O(packets) — the fidelity tier
-// that turns the paper's 128 servers into 10k+ hosts at flat wall clock.
+// that turns the paper's 128 servers into 100k+ hosts at flat wall clock.
+//
+// The rate allocation is maintained incrementally by IncSolver: an event
+// only re-waterfills the bottleneck-connected component its touched links
+// reach, same-instant arrivals coalesce into one solve through a flush
+// event, transfers settle lazily (each one only when its own rate changes
+// or a threshold crossing fires), and the single wake event is aimed by an
+// indexed min-heap of crossing instants instead of an active-set scan. The
+// steady-state event loop performs zero heap allocations.
 //
 // The model shares everything above the packet layer with the packet
 // engine: internal/topo fabric shapes, internal/workload generators,
@@ -69,6 +77,12 @@ type Config struct {
 	// global RTT epoch.
 	FlowBender *core.Config
 
+	// SolverShards is the maximum number of parallel workers the rate
+	// solver may spread a large multi-component re-solve across. 0 or 1
+	// keeps every solve serial. Any value produces bit-identical results
+	// (see IncSolver); the knob only trades cores for wall clock.
+	SolverShards int
+
 	// Transport constants; zero values take DCTCP's defaults (MSS 1460,
 	// 40-byte headers, initial window 10 segments, 224 KiB max window).
 	MSS          int
@@ -109,7 +123,7 @@ const (
 )
 
 // xfer is one transfer in flight: a slow-start budget machine over a pool
-// of residual wire bits, drained through one session per path.
+// of residual wire bits, drained through one solver session per path.
 type xfer struct {
 	group  int32
 	id     netsim.FlowID
@@ -119,16 +133,17 @@ type xfer struct {
 	tag    uint32 // current path tag (FlowBender's V)
 
 	state      uint8
+	hasFB      bool
 	round      int16
-	remain     float64 // wire bits left
+	remain     float64 // wire bits left, exact as of settled
 	budget     float64 // wire bits left in the current slow-start round; <0 = streaming
 	roundStart sim.Time
+	settled    sim.Time // instant remain/budget are exact at (lazy settling)
 	rtt        sim.Time // base round-trip of the path class
 	rate       float64  // total allocated rate from the last solve
 
-	fb     *core.FlowBender
-	paths  []pathRef // 1 entry normally; one per path when sprayed
-	resume *sim.Event
+	paths []pathRef // 1 entry normally; one per path when sprayed
+	sess  []int32   // solver session per path (empty while paused)
 }
 
 // group is the completion unit the harness observes: one per Arrive call,
@@ -159,24 +174,25 @@ type Sim struct {
 	net *Net
 
 	xfers  []xfer
+	fbs    []core.FlowBender // by-value controller per xfer slot (hasFB gates)
 	freeX  []int32
 	groups []group
 	freeG  []int32
 	active []int32 // live xfer indices; swap-remove, deterministic order
 
-	wf         waterfiller
-	dirty      bool
-	lastSettle sim.Time
-	wake       *sim.Event
-	wakeAt     sim.Time
-	epochEv    *sim.Event
-	nFB        int
+	inc   IncSolver
+	owner []int32 // solver session -> owning xfer, -1 when free
 
-	// Standing-queue tracking (see computeQueues): markStamp[l] == markGen
-	// when link l holds a standing queue under the last solve.
-	markStamp   []uint32
-	markGen     uint32
-	queuesValid bool
+	heap etaHeap
+
+	flushPend bool
+	flushFn   func() // prebuilt closures: the steady-state loop never allocates
+	wakeFn    func()
+	epochFn   func()
+	wake      *sim.Event
+	wakeAt    sim.Time
+	epochEv   *sim.Event
+	nFB       int
 
 	segWire     float64 // wire bits of one full segment
 	ackWire     float64 // wire bits of one bare ACK
@@ -192,8 +208,12 @@ func NewSim(eng *sim.Engine, cfg Config) *Sim {
 	s.segWire = wirePkt * 8
 	s.ackWire = float64(cfg.HeaderBytes) * 8
 	s.maxCwndWire = float64(cfg.MaxCwndBytes) / float64(cfg.MSS) * s.segWire
-	s.markStamp = make([]uint32, s.net.nLinks)
 	s.rttEpoch = s.pathRTT(maxPathLinks)
+	s.inc.Reset(s.net.caps, s.net.marking)
+	s.inc.SetShards(cfg.SolverShards)
+	s.flushFn = s.onFlush
+	s.wakeFn = s.onWake
+	s.epochFn = s.epochTick
 	return s
 }
 
@@ -237,8 +257,12 @@ func (s *Sim) pathRTT(nl int8) sim.Time {
 // Arrive starts one flow at the engine's current instant. src and dst are
 // host indices (identical to netsim.NodeID for hosts). userTag is echoed in
 // the Done record.
+//
+// Arrivals only stage solver work: a flush event at the same instant (fired
+// after every same-instant arrival, by the engine's insertion ordering)
+// folds the whole batch into a single incremental solve — an incast of N
+// flows costs one re-waterfill, not N.
 func (s *Sim) Arrive(id netsim.FlowID, src, dst int32, size int64, userTag int32) {
-	s.settle()
 	gi := s.allocGroup()
 	g := &s.groups[gi]
 	*g = group{id: id, size: size, userTag: userTag, arrive: s.eng.Now()}
@@ -248,11 +272,9 @@ func (s *Sim) Arrive(id netsim.FlowID, src, dst int32, size int64, userTag int32
 	if replicate {
 		s.addXfer(gi, tcp.ReplicaID(id), src, dst, size)
 	}
-	s.dirty = true
-	s.sweep()
-	s.solveRetarget()
+	s.scheduleFlush()
 	if s.nFB > 0 && s.epochEv == nil {
-		s.epochEv = s.eng.Schedule(s.rttEpoch, s.epochTick)
+		s.epochEv = s.eng.Schedule(s.rttEpoch, s.epochFn)
 	}
 }
 
@@ -261,14 +283,16 @@ func (s *Sim) addXfer(gi int32, id netsim.FlowID, src, dst int32, size int64) {
 	xi := s.allocXfer()
 	x := &s.xfers[xi]
 	paths := x.paths[:0]
-	*x = xfer{group: gi, id: id, src: src, dst: dst, state: xRun, roundStart: s.eng.Now()}
+	sess := x.sess[:0]
+	now := s.eng.Now()
+	*x = xfer{group: gi, id: id, src: src, dst: dst, state: xRun, roundStart: now, settled: now}
 
 	srcPort, dstPort := tcp.PortsFor(id)
 	x.prefix = FlowPrefix(src, dst, srcPort, dstPort)
 	if s.cfg.FlowBender != nil {
-		fbc := *s.cfg.FlowBender
-		x.fb = core.New(fbc)
-		x.tag = x.fb.PathTag()
+		s.fbs[xi] = core.Make(*s.cfg.FlowBender)
+		x.hasFB = true
+		x.tag = s.fbs[xi].PathTag()
 		s.nFB++
 	}
 	if s.cfg.Spray && size < s.cfg.ShortCutoff {
@@ -284,11 +308,46 @@ func (s *Sim) addXfer(gi int32, id netsim.FlowID, src, dst int32, size int64) {
 	if x.budget >= s.maxCwndWire {
 		x.budget = -1
 	}
+	x.sess = sess
+	s.addSessions(x, xi)
 
 	g := &s.groups[gi]
 	g.members[g.nMember] = xi
 	g.nMember++
 	s.active = append(s.active, xi)
+}
+
+// sessCap returns the per-session rate cap of a transfer: unbounded while
+// the slow-start budget gates transmission, the streaming window rate
+// (split evenly over a sprayed flow's paths) once slow start is done.
+func (s *Sim) sessCap(x *xfer) float64 {
+	if x.budget < 0 {
+		return s.maxCwndWire / x.rtt.Seconds() / float64(len(x.paths))
+	}
+	return math.Inf(1)
+}
+
+// addSessions registers one solver session per path of x.
+func (s *Sim) addSessions(x *xfer, xi int32) {
+	c := s.sessCap(x)
+	for pi := range x.paths {
+		p := &x.paths[pi]
+		sid := s.inc.Add(p.links[:p.n], c)
+		x.sess = append(x.sess, sid)
+		for int(sid) >= len(s.owner) {
+			s.owner = append(s.owner, -1)
+		}
+		s.owner[sid] = xi
+	}
+}
+
+// dropSessions retires all of x's solver sessions (pause or removal).
+func (s *Sim) dropSessions(x *xfer) {
+	for _, sid := range x.sess {
+		s.owner[sid] = -1
+		s.inc.Remove(sid)
+	}
+	x.sess = x.sess[:0]
 }
 
 // FlowPrefix returns the flow-constant ECMP hash prefix of a TCP flow
@@ -298,29 +357,23 @@ func FlowPrefix(src, dst int32, srcPort, dstPort uint16) uint64 {
 	return routing.FlowHashPrefix(netsim.NodeID(src), netsim.NodeID(dst), srcPort, dstPort, netsim.ProtoTCP)
 }
 
-// settle advances every running transfer's residuals by its allocated rate
-// over the time since the last settle point. Rates are constant between
-// solver events, so this is exact.
-func (s *Sim) settle() {
-	now := s.eng.Now()
-	dt := (now - s.lastSettle).Seconds()
-	s.lastSettle = now
-	if dt <= 0 {
+// settleTo advances one transfer's residuals to now at its current rate.
+// Rates are constant between the solver commits that touch a transfer, so
+// settling only at those instants (plus the transfer's own crossings) is
+// exact — no global per-event settle scan.
+func (s *Sim) settleTo(x *xfer, now sim.Time) {
+	dt := (now - x.settled).Seconds()
+	x.settled = now
+	if dt <= 0 || x.state != xRun || x.rate <= 0 {
 		return
 	}
-	for _, xi := range s.active {
-		x := &s.xfers[xi]
-		if x.state != xRun || x.rate <= 0 {
-			continue
-		}
-		used := x.rate * dt
-		x.remain -= used
-		if x.budget >= 0 {
-			// Clamp: a finite budget must not cross into the negative range
-			// that encodes "streaming" (slow start done).
-			if x.budget -= used; x.budget < 0 {
-				x.budget = 0
-			}
+	used := x.rate * dt
+	x.remain -= used
+	if x.budget >= 0 {
+		// Clamp: a finite budget must not cross into the negative range
+		// that encodes "streaming" (slow start done).
+		if x.budget -= used; x.budget < 0 {
+			x.budget = 0
 		}
 	}
 }
@@ -329,38 +382,129 @@ func (s *Sim) settle() {
 // so a crossing leaves at most rate*1ns ≈ tens of bits of float slack.
 const doneEps = 0.5
 
-// sweep processes every threshold crossed at the current instant:
-// completions first (they can retire sibling transfers), then slow-start
-// round edges.
-func (s *Sim) sweep() {
-	for changed := true; changed; {
-		changed = false
-		for _, xi := range s.active {
-			x := &s.xfers[xi]
-			if x.state == xRun && x.remain <= doneEps {
-				s.finish(xi)
-				changed = true
-				break
+// scheduleFlush commits the staged solver work — immediately when this is
+// the instant's last event, through a same-instant flush event otherwise, so
+// an incast batch (or an arrival sharing its instant with a wake) still
+// folds into a single re-solve. The peek costs one bucket access; the usual
+// lone arrival commits inline and schedules nothing.
+func (s *Sim) scheduleFlush() {
+	if s.flushPend {
+		return
+	}
+	if t, ok := s.eng.NextAt(); ok && t == s.eng.Now() {
+		s.flushPend = true
+		s.eng.At(t, s.flushFn)
+		return
+	}
+	s.commitApply()
+}
+
+func (s *Sim) onFlush() {
+	s.flushPend = false
+	s.commitApply()
+}
+
+// commitApply commits any staged solver work, folds re-solved rates into
+// their transfers (settling each to the current instant first), and re-aims
+// the wake event at the earliest crossing.
+func (s *Sim) commitApply() {
+	if s.inc.Pending() {
+		s.inc.Commit()
+		now := s.eng.Now()
+		for _, sid := range s.inc.Affected() {
+			xi := s.owner[sid]
+			if xi < 0 {
+				continue
 			}
+			x := &s.xfers[xi]
+			s.settleTo(x, now)
+			var r float64
+			for _, id := range x.sess {
+				r += s.inc.Rate(id)
+			}
+			x.rate = r
+			s.updateEta(xi, now)
 		}
 	}
+	s.retargetWake()
+}
+
+// updateEta re-computes transfer xi's next threshold crossing and fixes its
+// heap position.
+func (s *Sim) updateEta(xi int32, now sim.Time) {
+	x := &s.xfers[xi]
+	if x.state != xRun || x.rate <= 0 {
+		s.heap.Remove(xi)
+		return
+	}
+	b := x.remain
+	if x.budget >= 0 && x.budget < b {
+		b = x.budget
+	}
+	var eta sim.Time
+	if b <= doneEps {
+		eta = now + 1
+	} else {
+		eta = x.settled + sim.Time(math.Ceil(b/x.rate*float64(sim.Second)))
+		if eta <= now {
+			eta = now + 1
+		}
+	}
+	s.heap.Set(xi, eta)
+}
+
+// drainDue processes every transfer whose crossing instant has arrived:
+// completions (which can retire sibling transfers) and slow-start round
+// edges. Solver work is staged; the caller commits.
+func (s *Sim) drainDue() {
 	now := s.eng.Now()
-	for _, xi := range s.active {
+	for s.heap.Len() > 0 {
+		xi, eta := s.heap.Min()
+		if eta > now {
+			break
+		}
 		x := &s.xfers[xi]
-		if x.state != xRun || x.budget < 0 || x.budget > doneEps || x.remain <= doneEps {
+		if x.state == xPaused {
+			// The round-trip edge arrived: reopen the window. The new
+			// sessions solve in the caller's commit, whose updateEta files
+			// the transfer back into the heap at its real crossing.
+			x.settled = now
+			x.state = xRun
+			s.advanceRound(x)
+			s.addSessions(x, xi)
+			s.heap.Remove(xi)
 			continue
 		}
-		// Window exhausted. If the round-trip edge already passed, the ACKs
-		// are back: open the next round in place. Otherwise idle until the
-		// edge.
-		if now >= x.roundStart+x.rtt {
-			s.advanceRound(x)
-		} else {
-			x.state = xPaused
-			xi := xi
-			x.resume = s.eng.At(x.roundStart+x.rtt, func() { s.onResume(xi) })
+		s.settleTo(x, now)
+		if x.remain <= doneEps {
+			s.finish(xi)
+			continue
 		}
-		s.dirty = true
+		if x.budget >= 0 && x.budget <= doneEps {
+			// Window exhausted. If the round-trip edge already passed, the
+			// ACKs are back: open the next round in place. Otherwise idle
+			// until the edge, parked in the heap at the resume instant — the
+			// wake event covers slow-start edges, so a pause/resume cycle
+			// costs no engine event of its own.
+			if now >= x.roundStart+x.rtt {
+				s.advanceRound(x)
+				if x.budget < 0 {
+					// Entered streaming: the session caps change.
+					c := s.sessCap(x)
+					for _, sid := range x.sess {
+						s.inc.SetCap(sid, c)
+					}
+				}
+				s.updateEta(xi, now)
+			} else {
+				x.state = xPaused
+				s.dropSessions(x)
+				s.heap.Set(xi, x.roundStart+x.rtt)
+			}
+			continue
+		}
+		// Float slack left the crossing short; re-aim strictly past now.
+		s.updateEta(xi, now)
 	}
 }
 
@@ -377,19 +521,10 @@ func (s *Sim) advanceRound(x *xfer) {
 	x.roundStart = s.eng.Now()
 }
 
-func (s *Sim) onResume(xi int32) {
-	x := &s.xfers[xi]
-	x.resume = nil
-	s.settle()
-	x.state = xRun
-	s.advanceRound(x)
-	s.dirty = true
-	s.sweep()
-	s.solveRetarget()
-}
-
 // finish retires the group of transfer xi: the first finisher defines the
 // flow's completion (RepFlow's first-copy-wins), every member is removed.
+// The completion tail uses the standing-queue marks of the last solve, as
+// every finisher at this instant shares one pre-commit queue snapshot.
 func (s *Sim) finish(xi int32) {
 	x := &s.xfers[xi]
 	gi := x.group
@@ -398,8 +533,8 @@ func (s *Sim) finish(xi int32) {
 		g.done = true
 		var reroutes int64
 		for m := int8(0); m < g.nMember; m++ {
-			if fb := s.xfers[g.members[m]].fb; fb != nil {
-				reroutes += fb.Stats().Reroutes
+			if mi := g.members[m]; s.xfers[mi].hasFB {
+				reroutes += s.fbs[mi].Stats().Reroutes
 			}
 		}
 		fct := s.eng.Now() + s.tail(x) - g.arrive
@@ -413,20 +548,17 @@ func (s *Sim) finish(xi int32) {
 		s.removeXfer(g.members[m])
 	}
 	s.freeG = append(s.freeG, gi)
-	s.dirty = true
 }
 
 // removeXfer deactivates one transfer and recycles its slot.
 func (s *Sim) removeXfer(xi int32) {
 	x := &s.xfers[xi]
-	if x.resume != nil {
-		s.eng.Cancel(x.resume)
-		x.resume = nil
-	}
-	if x.fb != nil {
+	if x.hasFB {
 		s.nFB--
-		x.fb = nil
+		x.hasFB = false
 	}
+	s.dropSessions(x)
+	s.heap.Remove(xi)
 	for i, a := range s.active {
 		if a == xi {
 			s.active[i] = s.active[len(s.active)-1]
@@ -437,192 +569,77 @@ func (s *Sim) removeXfer(xi int32) {
 	s.freeX = append(s.freeX, xi)
 }
 
-// solveRetarget re-solves the rate allocation if the active set changed and
-// re-aims the wake event at the earliest next threshold crossing.
-func (s *Sim) solveRetarget() {
-	if s.dirty {
-		s.solve()
-		s.dirty = false
-	}
-	s.retarget()
-}
-
-// solve runs the waterfiller over the active transfers: one session per
-// path, capped at the streaming window rate (split evenly over a sprayed
-// flow's paths) once slow start is done.
-func (s *Sim) solve() {
-	w := &s.wf
-	w.begin(s.net.caps)
-	for _, xi := range s.active {
-		x := &s.xfers[xi]
-		if x.state != xRun {
-			continue
-		}
-		cap := math.Inf(1)
-		if x.budget < 0 {
-			cap = s.maxCwndWire / x.rtt.Seconds() / float64(len(x.paths))
-		}
-		for pi := range x.paths {
-			p := &x.paths[pi]
-			w.add(p.links[:p.n], cap)
-		}
-	}
-	w.solve()
-	s.queuesValid = false
-	k := 0
-	for _, xi := range s.active {
-		x := &s.xfers[xi]
-		if x.state != xRun {
-			continue
-		}
-		var r float64
-		for range x.paths {
-			r += w.rate[k]
-			k++
-		}
-		x.rate = r
-	}
-}
-
-// retarget re-aims the single wake event at the earliest completion or
-// budget-exhaustion instant among the running transfers.
-func (s *Sim) retarget() {
-	now := s.eng.Now()
-	best := sim.Time(math.MaxInt64)
-	for _, xi := range s.active {
-		x := &s.xfers[xi]
-		if x.state != xRun || x.rate <= 0 {
-			continue
-		}
-		b := x.remain
-		if x.budget >= 0 && x.budget < b {
-			b = x.budget
-		}
-		var eta sim.Time
-		if b <= doneEps {
-			eta = now + 1
-		} else {
-			eta = now + sim.Time(math.Ceil(b/x.rate*float64(sim.Second)))
-			if eta <= now {
-				eta = now + 1
-			}
-		}
-		if eta < best {
-			best = eta
-		}
-	}
-	if best == sim.Time(math.MaxInt64) {
+// retargetWake re-aims the single wake event at the earliest crossing.
+func (s *Sim) retargetWake() {
+	if s.heap.Len() == 0 {
 		if s.wake != nil {
 			s.eng.Cancel(s.wake)
 			s.wake = nil
 		}
 		return
 	}
+	_, best := s.heap.Min()
 	if s.wake != nil {
-		if s.wakeAt == best {
+		if best >= s.wakeAt {
+			// The crossing moved later (or not at all): keep the armed wake.
+			// Firing early is a cheap no-op that re-aims, cheaper than the
+			// cancel-and-reschedule churn every arrival commit would pay.
 			return
 		}
 		s.eng.Cancel(s.wake)
 	}
 	s.wakeAt = best
-	s.wake = s.eng.At(best, s.onWake)
+	s.wake = s.eng.At(best, s.wakeFn)
 }
 
 func (s *Sim) onWake() {
 	s.wake = nil
-	s.settle()
-	s.sweep()
-	s.solveRetarget()
+	s.drainDue()
+	s.commitApply()
 }
 
 // epochTick closes one global RTT epoch for every FlowBender-controlled
 // transfer: the marked-ACK fraction is estimated from the current path
 // utilization and fed to the controller; reroutes re-draw the path with the
-// new tag, exactly as the packet transport re-stamps V.
+// new tag, exactly as the packet transport re-stamps V. The whole epoch's
+// reroutes batch into one solver commit.
 func (s *Sim) epochTick() {
 	s.epochEv = nil
 	if s.nFB == 0 {
 		return
 	}
-	s.settle()
-	s.sweep()
+	s.drainDue()
 	for _, xi := range s.active {
 		x := &s.xfers[xi]
-		if x.fb == nil || x.state != xRun {
+		if !x.hasFB || x.state != xRun {
 			continue
 		}
-		if x.fb.OnEpochF(s.pathF(x)) {
-			x.tag = x.fb.PathTag()
-			s.net.singlePath(&x.paths[0], x.prefix, x.tag, x.src, x.dst)
-			s.dirty = true
+		if s.fbs[xi].OnEpochF(s.pathF(x)) {
+			x.tag = s.fbs[xi].PathTag()
+			p := &x.paths[0]
+			s.net.singlePath(p, x.prefix, x.tag, x.src, x.dst)
+			s.inc.SetLinks(x.sess[0], p.links[:p.n])
 		}
 	}
-	s.solveRetarget()
+	s.commitApply()
 	if s.nFB > 0 {
-		s.epochEv = s.eng.Schedule(s.rttEpoch, s.epochTick)
+		s.epochEv = s.eng.Schedule(s.rttEpoch, s.epochFn)
 	}
 }
-
-// satThresh is the utilization at which a link counts as saturated. The
-// solver's freezing levels put bottlenecked links numerically at 1, so this
-// only needs to reject genuinely-below-capacity links.
-const satThresh = 0.999
-
-// computeQueues locates the standing queues under the last-solved rates.
-// A windowed sender's congestion control (DCTCP here) builds a persistent
-// queue at its flow's *first saturated link* — upstream links pace the flow
-// below their capacity, so queues cannot stand anywhere else. When that
-// link is the sender's own NIC the queue is invisible to the fabric (the
-// NIC queue is unbounded and unmarked, and its delay is already covered by
-// the flow's drain rate). When it is a switch egress port, DCTCP pins the
-// queue's occupancy near the marking threshold K: every flow crossing the
-// link sees marked ACKs and an extra ~K of queueing delay.
-//
-// This "first saturated link" rule is what distinguishes true contention
-// from coincidental full utilization: two access-limited flows sharing one
-// exactly-full ToR uplink saturate it without queueing (their first
-// saturated link is their own NIC), while three flows squeezed below
-// access rate by that uplink make it their first saturated link and mark.
-func (s *Sim) computeQueues() {
-	if s.queuesValid {
-		return
-	}
-	s.queuesValid = true
-	s.markGen++
-	for _, xi := range s.active {
-		x := &s.xfers[xi]
-		if x.state != xRun {
-			continue
-		}
-		for pi := range x.paths {
-			p := &x.paths[pi]
-			for i := int8(0); i < p.n; i++ {
-				l := p.links[i]
-				if s.wf.util(l) >= satThresh {
-					if s.net.marking[l] {
-						s.markStamp[l] = s.markGen
-					}
-					break
-				}
-			}
-		}
-	}
-}
-
-// queued reports whether link l holds a standing queue under the last solve.
-func (s *Sim) queued(l int32) bool { return s.markStamp[l] == s.markGen }
 
 // pathF estimates FlowBender's congestion signal — the fraction of the
 // epoch's ACKs carrying ECN marks — over a transfer's current path: 1 when
 // the path crosses a standing queue (DCTCP marks nearly every packet
 // passing an occupancy pinned at K, far above any reasonable threshold T),
 // else 0. The fluid model has no transient sub-threshold marking; the
-// fidelity harness quantifies what that smoothing costs.
+// fidelity harness quantifies what that smoothing costs. The standing-queue
+// marks are maintained incrementally by the solver's first-saturated-link
+// rule (see IncSolver.firstSatMark), which distinguishes true contention
+// from coincidental full utilization.
 func (s *Sim) pathF(x *xfer) float64 {
-	s.computeQueues()
 	p := &x.paths[0]
 	for i := int8(0); i < p.n; i++ {
-		if s.queued(p.links[i]) {
+		if s.inc.Queued(p.links[i]) {
 			return 1
 		}
 	}
@@ -641,7 +658,6 @@ func (s *Sim) pathF(x *xfer) float64 {
 // fluid image of the reordering penalty sprayed short flows pay in the
 // packet engine).
 func (s *Sim) tail(x *xfer) sim.Time {
-	s.computeQueues()
 	last := s.lastPktBits(x)
 	kBits := float64(8*s.cfg.Params.MarkK) / 2
 	var worst sim.Time
@@ -651,7 +667,7 @@ func (s *Sim) tail(x *xfer) sim.Time {
 		for i := int8(1); i < p.n; i++ {
 			l := p.links[i]
 			sec += last / s.net.caps[l]
-			if s.queued(l) {
+			if s.inc.Queued(l) {
 				sec += kBits / s.net.caps[l]
 			}
 		}
@@ -683,7 +699,10 @@ func (s *Sim) allocXfer() int32 {
 		return xi
 	}
 	s.xfers = append(s.xfers, xfer{})
-	return int32(len(s.xfers) - 1)
+	s.fbs = append(s.fbs, core.FlowBender{})
+	xi := int32(len(s.xfers) - 1)
+	s.heap.ensure(len(s.xfers))
+	return xi
 }
 
 func (s *Sim) allocGroup() int32 {

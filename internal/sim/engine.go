@@ -43,6 +43,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 )
 
@@ -146,6 +147,7 @@ type Engine struct {
 	curTick  int64
 	nWheel   int // entries across all buckets, including cancelled ones
 	buckets  [wheelBuckets][]heapEntry
+	occ      [wheelBuckets / 64]uint64 // bit b set <=> buckets[b] nonempty
 	overflow []heapEntry
 
 	free    []*Event // recycled Event objects
@@ -248,11 +250,34 @@ func (e *Engine) push(en heapEntry) {
 		e.curTick = tick
 	}
 	if tick-e.curTick < wheelBuckets {
-		entryHeapPush(&e.buckets[tick&wheelMask], en)
+		i := tick & wheelMask
+		entryHeapPush(&e.buckets[i], en)
+		e.occ[i>>6] |= 1 << uint(i&63)
 		e.nWheel++
 	} else {
 		entryHeapPush(&e.overflow, en)
 	}
+}
+
+// nextOcc returns the smallest offset k in [from, wheelBuckets) such that
+// bucket (start+k)&wheelMask is nonempty, or -1. The occupancy bitmap makes
+// the circular scan O(words) instead of O(buckets) — the difference between
+// packet workloads (every bucket busy, scan finds a hit immediately) and
+// fluid workloads (a handful of events spread over milliseconds, where the
+// old per-bucket lap scan dominated profiles).
+func (e *Engine) nextOcc(start, from int64) int64 {
+	for from < wheelBuckets {
+		j := (start + from) & wheelMask
+		w := e.occ[j>>6] >> uint(j&63)
+		if w != 0 {
+			if k := from + int64(bits.TrailingZeros64(w)); k < wheelBuckets {
+				return k
+			}
+			return -1
+		}
+		from += 64 - (j & 63) // next bitmap word boundary
+	}
+	return -1
 }
 
 // findMin locates the earliest pending entry and returns the bucket whose
@@ -269,7 +294,9 @@ func (e *Engine) findMin() *[]heapEntry {
 				e.curTick = rt
 			}
 			for rt-e.curTick < wheelBuckets {
-				entryHeapPush(&e.buckets[rt&wheelMask], entryHeapPop(&e.overflow))
+				i := rt & wheelMask
+				entryHeapPush(&e.buckets[i], entryHeapPop(&e.overflow))
+				e.occ[i>>6] |= 1 << uint(i&63)
 				e.nWheel++
 				if len(e.overflow) == 0 {
 					break
@@ -281,13 +308,15 @@ func (e *Engine) findMin() *[]heapEntry {
 			return nil
 		}
 		// Scan one lap from the cursor for a bucket whose root belongs to
-		// the scanned position. A nonempty bucket whose root tick differs
-		// holds only later laps' entries; anything in this lap would sort
-		// before such a root, so skipping it cannot lose order.
-		for k := int64(0); k < wheelBuckets; k++ {
+		// the scanned position, visiting only occupied buckets via the
+		// bitmap. A nonempty bucket whose root tick differs holds only later
+		// laps' entries; anything in this lap would sort before such a root,
+		// so skipping it cannot lose order.
+		start := e.curTick & wheelMask
+		for k := e.nextOcc(start, 0); k >= 0; k = e.nextOcc(start, k+1) {
 			pos := e.curTick + k
 			b := &e.buckets[pos&wheelMask]
-			if len(*b) > 0 && int64((*b)[0].at)>>wheelLogW == pos {
+			if int64((*b)[0].at)>>wheelLogW == pos {
 				e.curTick = pos
 				return b
 			}
@@ -299,9 +328,10 @@ func (e *Engine) findMin() *[]heapEntry {
 		// precedes it, in which case the jump lets the migration loop pull
 		// it in first; then rescan.
 		best := int64(-1)
-		for i := range e.buckets {
-			if b := e.buckets[i]; len(b) > 0 {
-				if t := int64(b[0].at) >> wheelLogW; best < 0 || t < best {
+		for w := range e.occ {
+			for m := e.occ[w]; m != 0; m &= m - 1 {
+				i := w<<6 + bits.TrailingZeros64(m)
+				if t := int64(e.buckets[i][0].at) >> wheelLogW; best < 0 || t < best {
 					best = t
 				}
 			}
@@ -315,12 +345,18 @@ func (e *Engine) findMin() *[]heapEntry {
 	}
 }
 
-// popBucket removes and returns b's root entry. b must be a wheel bucket
-// (findMin never returns the overflow heap: due overflow entries are
-// migrated onto the wheel before being popped).
+// popBucket removes and returns b's root entry. b must be the cursor's wheel
+// bucket — the one minBucket/findMin returned, with curTick positioned on it
+// (findMin never returns the overflow heap: due overflow entries are migrated
+// onto the wheel before being popped) — so emptying it clears its bitmap bit.
 func (e *Engine) popBucket(b *[]heapEntry) heapEntry {
 	e.nWheel--
-	return entryHeapPop(b)
+	en := entryHeapPop(b)
+	if len(*b) == 0 {
+		i := e.curTick & wheelMask
+		e.occ[i>>6] &^= 1 << uint(i&63)
+	}
+	return en
 }
 
 // alloc takes an Event from the free list, or heap-allocates the first time.
@@ -380,6 +416,9 @@ func (e *Engine) compact() {
 		if len(e.buckets[i]) > 0 {
 			e.buckets[i] = e.compactHeap(e.buckets[i])
 			n += len(e.buckets[i])
+		}
+		if len(e.buckets[i]) == 0 {
+			e.occ[i>>6] &^= 1 << uint(i&63)
 		}
 	}
 	e.nWheel = n

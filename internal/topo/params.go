@@ -91,6 +91,24 @@ func HyperScale() Params {
 	return p
 }
 
+// MegaScale returns a 102,400-host fabric: 32 pods of 32 ToRs x 100
+// servers, with 8 aggregation switches per pod and 32 cores. This is the
+// ROADMAP's production-scale rung — the scale where RepFlow's replication
+// economics and FlowBender's reroute dynamics actually diverge — and it is
+// strictly fluid-only: at ~100k hosts the per-packet engine would need
+// billions of events per second of simulated time. The oversubscription
+// (100:1 server-to-core per pod) mirrors aggressive production fabrics;
+// as with HyperScale the fidelity story is structural, not ratio-exact.
+func MegaScale() Params {
+	p := PaperScale()
+	p.Pods = 32
+	p.TorsPerPod = 32
+	p.AggsPerPod = 8
+	p.ServersPerTor = 100
+	p.CoreUplinksPerAgg = 4
+	return p
+}
+
 // TinyScale is for unit tests: 16 servers, 2 pods, 2 paths, 4x oversub.
 func TinyScale() Params {
 	p := PaperScale()
